@@ -1,0 +1,69 @@
+// Command stampbench regenerates the paper's evaluation artifacts:
+// every table, figure and §4 analytical derivation has a registered
+// experiment that runs deterministic simulations and prints the same
+// rows/series the paper reports, plus pass/fail claim checks.
+//
+// Usage:
+//
+//	stampbench                  # run everything
+//	stampbench -experiment bank # run one experiment
+//	stampbench -list            # list experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-14s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	var results []experiments.Result
+	if *exp != "" {
+		r, err := experiments.Run(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		results = append(results, r)
+	} else {
+		results = experiments.RunAll()
+	}
+
+	failed := 0
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, r := range results {
+			fmt.Println(r)
+		}
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "experiment %s has failing checks\n", r.ID)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

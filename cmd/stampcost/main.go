@@ -1,0 +1,59 @@
+// Command stampcost evaluates the paper's analytical model: the generic
+// §3.1 S-round formulas and the §4 Jacobi derivation chain, for the
+// parameters given on the command line.
+//
+// Usage:
+//
+//	stampcost -n 64                      # Jacobi chain with defaults
+//	stampcost -n 64 -L 5 -g 0.001 -x 2 -y 3
+//	stampcost -n 64 -paper-bounds        # use minimal L=5, g=3/(n(n-1))
+//	stampcost -n 64 -envelope 15         # threads admissible under envelope
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+func main() {
+	n := flag.Int("n", 64, "problem size (n equations, n processes)")
+	l := flag.Float64("L", 5, "message delay L")
+	g := flag.Float64("g", 1, "bandwidth factor g")
+	x := flag.Float64("x", 2, "w_fp / w_int (x ≥ 2)")
+	y := flag.Float64("y", 3, "w_ms / w_int = w_mr / w_int (y ≥ 2)")
+	wint := flag.Float64("wint", 1, "base integer-op energy w_int")
+	paperBounds := flag.Bool("paper-bounds", false, "use the paper's minimal L=5, g=3/(n(n-1))")
+	envelope := flag.Float64("envelope", 0, "per-processor power envelope (0: use the paper's 3(x+y)w_int)")
+	flag.Parse()
+
+	j := cost.Jacobi{N: *n, L: *l, G: *g, X: *x, Y: *y, WInt: *wint}
+	if *paperBounds {
+		j = j.WithPaperLowerBounds()
+	}
+	env := *envelope
+	if env == 0 {
+		env = j.PaperEnvelope()
+	}
+
+	fmt.Printf("Jacobi §4 derivation chain (n=%d, L=%g, g=%g, x=%g, y=%g, w_int=%g)\n",
+		j.N, j.L, j.G, j.X, j.Y, j.WInt)
+	fmt.Printf("  T_S-round           = 2n + L + 2gn − 2g           = %.4g\n", j.TSRound())
+	fmt.Printf("  E_S-round           = (2w_fp+w_mr+w_ms)n − …      = %.4g\n", j.ESRound())
+	fmt.Printf("  T_c lower bound     = %.4g\n", j.TCLower())
+	fmt.Printf("  E_c upper bound     = %.4g\n", j.ECUpper())
+	fmt.Printf("  T_S-unit lower      = %.4g\n", j.TSUnitLower())
+	fmt.Printf("  E_S-unit upper      = %.4g\n", j.ESUnitUpper())
+	fmt.Printf("  P_S-unit upper      = %.4g\n", j.PSUnitUpper())
+	if *paperBounds {
+		fmt.Printf("  paper chain 2n+6/n+7 = %.4g (≥ 2n = %d)\n", j.TSUnitPaperBound(), 2*j.N)
+	}
+	fmt.Printf("  power bound (x+y)w  = %.4g\n", j.PowerBound())
+	fmt.Printf("  envelope            = %.4g\n", env)
+	fmt.Printf("  max threads/processor under envelope = %d\n", j.MaxThreadsUnderEnvelope(env))
+
+	// Cross-check with the generic §3.1 formulas.
+	r, m := j.RoundParams()
+	fmt.Printf("\ngeneric §3.1 cross-check: T=%.4g E=%.4g P=%.4g\n", r.T(m), r.E(m), r.P(m))
+}

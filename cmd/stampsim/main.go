@@ -1,0 +1,161 @@
+// Command stampsim runs one of the paper's example workloads on a
+// configured simulated CMP/CMT machine and prints the full cost report
+// (per-process and group T/E/P plus the §2.1 metrics).
+//
+// Usage:
+//
+//	stampsim -app jacobi -n 32 -iters 6
+//	stampsim -app apsp -n 16 -mode async -skew 4
+//	stampsim -app bank -n 64 -procs 16 -manager timestamp
+//	stampsim -app airline -n 8 -procs 8 -policy partial
+//	stampsim -machine generic -app jacobi -n 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/airline"
+	"repro/internal/apps/apsp"
+	"repro/internal/apps/bank"
+	"repro/internal/apps/jacobi"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "jacobi", "workload: jacobi | apsp | bank | airline")
+	mach := flag.String("machine", "niagara", "machine preset: niagara | generic | single")
+	n := flag.Int("n", 16, "problem size (equations / vertices / accounts / sectors)")
+	procs := flag.Int("procs", 8, "worker processes (bank, airline)")
+	iters := flag.Int("iters", 0, "fixed iterations (jacobi; 0 = run to convergence)")
+	mode := flag.String("mode", "async", "apsp mode: async | bulksync")
+	skew := flag.Float64("skew", 1, "apsp: slowdown factor of process 0")
+	manager := flag.String("manager", "timestamp", "contention manager: passive | aggressive | karma | timestamp")
+	policy := flag.String("policy", "partial", "airline policy: partial | strict")
+	seed := flag.Int64("seed", 1, "workload seed")
+	doTrace := flag.Bool("trace", false, "record execution events; print timeline and last events")
+	traceTail := flag.Int("trace-tail", 40, "how many trailing trace events to print")
+	flag.Parse()
+
+	var cfg machine.Config
+	switch *mach {
+	case "niagara":
+		cfg = machine.Niagara()
+	case "generic":
+		cfg = machine.Generic()
+	case "single":
+		cfg = machine.SingleCore()
+	default:
+		fail("unknown machine %q", *mach)
+	}
+
+	var mgr stm.ContentionManager
+	switch *manager {
+	case "passive":
+		mgr = stm.Passive{}
+	case "aggressive":
+		mgr = stm.Aggressive{}
+	case "karma":
+		mgr = stm.Karma{}
+	case "timestamp":
+		mgr = stm.Timestamp{}
+	default:
+		fail("unknown manager %q", *manager)
+	}
+
+	var opts []core.Option
+	opts = append(opts, core.WithContentionManager(mgr))
+	var rec *trace.Recorder
+	if *doTrace {
+		rec = trace.New(100000)
+		opts = append(opts, core.WithTracer(rec))
+	}
+	sys := core.NewSystem(cfg, opts...)
+	fmt.Println(cfg.Describe())
+
+	switch *app {
+	case "jacobi":
+		ls := workload.NewLinearSystem(*n, *seed)
+		res, err := jacobi.Run(sys, jacobi.Config{System: ls, Iters: *iters, Tol: 1e-9})
+		exitIf(err)
+		fmt.Printf("jacobi %v: %d iterations, residual %.3g\n",
+			jacobi.DefaultAttrs, res.Iters, ls.Residual(res.X))
+		model := jacobi.Model(sys, res.Group, *n)
+		mt, me := jacobi.MeasuredRound(res.Group, 1)
+		fmt.Printf("S-round: measured T=%d E=%.0f | predicted T=%.0f E=%.0f\n",
+			mt, me, model.TSRound(), model.ESRound())
+		fmt.Print(res.Report().Table())
+
+	case "apsp":
+		g := workload.NewRandomGraph(*n, 0.25, 40, *seed)
+		m := apsp.Async
+		if *mode == "bulksync" {
+			m = apsp.BulkSync
+		}
+		var slow []float64
+		if *skew > 1 {
+			slow = make([]float64, *n)
+			for i := range slow {
+				slow[i] = 1
+			}
+			slow[0] = *skew
+		}
+		res, err := apsp.Run(sys, apsp.Config{Graph: g, Mode: m, SlowFactor: slow})
+		exitIf(err)
+		ok := apsp.Equal(res.Dist, apsp.FloydWarshall(g))
+		fmt.Printf("apsp %v mode=%v: %d epochs, %d total rounds, correct=%v\n",
+			apsp.DefaultAttrs, m, res.Epochs, res.TotalRounds(), ok)
+		fmt.Print(res.Report().Table())
+
+	case "bank":
+		wl := workload.NewBank(*n, 8**procs, 1000, 0.5, *seed)
+		res, err := bank.Run(sys, wl, *procs, nil)
+		exitIf(err)
+		fmt.Printf("bank %v: %d succeeded, %d declined, abort rate %.3f, throughput %.3f\n",
+			bank.DefaultAttrs, res.Succeeded, res.Declined, res.TM.AbortRate(), res.Throughput())
+		fmt.Print(res.Report().Table())
+
+	case "airline":
+		wl := workload.NewAirline(*n, 4, 10**procs, *seed)
+		pol := airline.Partial
+		if *policy == "strict" {
+			pol = airline.Strict
+		}
+		res, err := airline.Run(sys, wl, *procs, pol)
+		exitIf(err)
+		fmt.Printf("airline %v policy=%v: %v, %d legs committed, success rate %.3f\n",
+			airline.DefaultAttrs, pol, res.Outcomes, res.LegsCommitted, res.SuccessRate())
+		fmt.Print(res.Report().Table())
+
+	default:
+		fail("unknown app %q", *app)
+	}
+
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(rec.Timeline(72))
+		evs := rec.Events()
+		if len(evs) > *traceTail {
+			evs = evs[len(evs)-*traceTail:]
+		}
+		for _, e := range evs {
+			fmt.Println(e)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func exitIf(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}

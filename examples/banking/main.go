@@ -1,0 +1,92 @@
+// Banking with transactional execution: the paper's §4 transfer(a,b,m)
+// example against the public stamp API. Transfers run [intra_proc,
+// trans_exec] with withdraw and deposit as closed-nested
+// subtransactions; the whole transfer commits only when both commit,
+// and money is conserved no matter how hard the workers collide.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/stamp"
+)
+
+var errInsufficient = errors.New("insufficient funds")
+
+func main() {
+	sys := stamp.NewSystem(stamp.Niagara(),
+		stamp.WithContentionManager(stamp.Timestamp{}))
+
+	// 32 accounts, 100 units each.
+	const nAcc, initBal = 32, int64(100)
+	accts := make([]*stamp.TVar[int64], nAcc)
+	for i := range accts {
+		accts[i] = stamp.NewTVar(sys, fmt.Sprintf("acct/%d", i), initBal)
+	}
+
+	// transfer is the paper's pseudocode, one-to-one:
+	//   transfer(a, b, m) [intra_proc, trans_exec]
+	//     cmit1 = a.withdraw(m) [trans_exec, synch_comm]
+	//     cmit2 = b.deposit(m)  [trans_exec, synch_comm]
+	//     if (cmit1 ∧ cmit2) return true else return false
+	transfer := func(ctx *stamp.Ctx, from, to int, m int64) bool {
+		_, err := ctx.Atomically(func(tx *stamp.Tx) error {
+			cmit1 := tx.Nested(func(c *stamp.Tx) error {
+				bal := accts[from].Get(c)
+				if bal < m {
+					return errInsufficient
+				}
+				accts[from].Set(c, bal-m)
+				return nil
+			}) == nil
+			cmit2 := tx.Nested(func(c *stamp.Tx) error {
+				accts[to].Set(c, accts[to].Get(c)+m)
+				return nil
+			}) == nil
+			if cmit1 && cmit2 {
+				return nil
+			}
+			return errInsufficient // roll the whole transfer back
+		})
+		return err == nil
+	}
+
+	attrs := stamp.Attrs{Dist: stamp.IntraProc, Exec: stamp.TransExec, Comm: stamp.SynchComm}
+	succeeded, declined := 0, 0
+	g := sys.NewGroup("tellers", attrs, 8, func(ctx *stamp.Ctx) {
+		// Every teller pushes money around a ring of accounts, with a
+		// deliberate hot spot on account 0.
+		for k := 0; k < 12; k++ {
+			from := (ctx.Index()*12 + k) % nAcc
+			to := 0 // hot spot
+			if from == 0 {
+				to = (ctx.Index() + 1) % nAcc
+			}
+			if transfer(ctx, from, to, int64(5+k)) {
+				succeeded++
+			} else {
+				declined++
+			}
+		}
+	})
+
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	var total int64
+	for _, a := range accts {
+		total += a.Value()
+	}
+	rep := g.Report()
+	fmt.Printf("transfers: %d succeeded, %d declined\n", succeeded, declined)
+	fmt.Printf("commits=%d aborts=%d (abort rate %.3f)\n",
+		sys.TM.Commits(), sys.TM.Aborts(), sys.TM.AbortRate())
+	fmt.Printf("Σ balances = %d (want %d — conservation)\n", total, int64(nAcc)*initBal)
+	fmt.Printf("group: T=%d E=%.0f P=%.3f\n", rep.T(), rep.E(), rep.Power())
+	if total != int64(nAcc)*initBal {
+		log.Fatal("MONEY NOT CONSERVED")
+	}
+}

@@ -1,0 +1,48 @@
+// Package agenttest provides a minimal implementation of the Agent
+// interface shared by the substrate packages (memory, msgpass, stm),
+// for use in their tests. The production implementation is the STAMP
+// core's execution context (internal/core.Ctx).
+package agenttest
+
+import (
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Agent binds a simulated process to a hardware thread and a counter
+// set. It implements the Agent interfaces of memory, msgpass and stm.
+type Agent struct {
+	P  *sim.Proc
+	T  machine.ThreadID
+	C  energy.Counters
+	fr float64 // fractional tick accumulator for HoldCost
+}
+
+// New returns an agent for process p bound to thread t.
+func New(p *sim.Proc, t machine.ThreadID) *Agent {
+	return &Agent{P: p, T: t}
+}
+
+// Proc returns the simulated process.
+func (a *Agent) Proc() *sim.Proc { return a.P }
+
+// Thread returns the bound hardware thread.
+func (a *Agent) Thread() machine.ThreadID { return a.T }
+
+// Counters returns the agent's operation counters.
+func (a *Agent) Counters() *energy.Counters { return &a.C }
+
+// HoldCost charges fractional virtual time, holding whole ticks as they
+// accumulate. The remainder carries over deterministically.
+func (a *Agent) HoldCost(ticks float64) {
+	if ticks < 0 {
+		panic("agenttest: negative cost")
+	}
+	a.fr += ticks
+	if a.fr >= 1 {
+		n := sim.Time(a.fr)
+		a.fr -= float64(n)
+		a.P.Hold(n)
+	}
+}

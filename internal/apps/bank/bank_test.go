@@ -1,0 +1,151 @@
+package bank
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+func TestSingleTransferMovesMoney(t *testing.T) {
+	sys := core.NewSystem(machine.Niagara())
+	b := New(sys.TM, 2, 100)
+	var ok bool
+	sys.NewGroup("t", DefaultAttrs, 1, func(ctx *core.Ctx) {
+		var err error
+		ok, err = b.Transfer(ctx, workload.Transfer{From: 0, To: 1, Amount: 30})
+		if err != nil {
+			t.Errorf("transfer: %v", err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("transfer declined")
+	}
+	if b.Accounts[0].Value() != 70 || b.Accounts[1].Value() != 130 {
+		t.Fatalf("balances %d/%d, want 70/130",
+			b.Accounts[0].Value(), b.Accounts[1].Value())
+	}
+}
+
+func TestInsufficientFundsDeclinesAtomically(t *testing.T) {
+	sys := core.NewSystem(machine.Niagara())
+	b := New(sys.TM, 2, 10)
+	sys.NewGroup("t", DefaultAttrs, 1, func(ctx *core.Ctx) {
+		ok, err := b.Transfer(ctx, workload.Transfer{From: 0, To: 1, Amount: 99})
+		if err != nil {
+			t.Errorf("transfer: %v", err)
+		}
+		if ok {
+			t.Error("overdraft accepted")
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Crucially, the deposit subtransaction (which would have
+	// committed on its own) must have been rolled back with the
+	// transfer: all-or-nothing.
+	if b.Accounts[1].Value() != 10 {
+		t.Fatalf("deposit leaked on declined transfer: balance %d", b.Accounts[1].Value())
+	}
+	if b.Total() != 20 {
+		t.Fatalf("money not conserved: %d", b.Total())
+	}
+}
+
+func TestWorkloadConservesMoney(t *testing.T) {
+	for _, mgr := range stm.Managers() {
+		mgr := mgr
+		t.Run(mgr.Name(), func(t *testing.T) {
+			wl := workload.NewBank(16, 60, 100, 0.3, 7)
+			sys := core.NewSystem(machine.Niagara(), WithManager(mgr))
+			res, err := Run(sys, wl, 8, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Succeeded+res.Declined != len(wl.Transfers) {
+				t.Fatalf("outcomes %d+%d != %d transfers",
+					res.Succeeded, res.Declined, len(wl.Transfers))
+			}
+			if res.Succeeded == 0 {
+				t.Fatal("no transfer succeeded")
+			}
+		})
+	}
+}
+
+// WithManager adapts the stm manager option for tests.
+func WithManager(m stm.ContentionManager) core.Option {
+	return core.WithContentionManager(m)
+}
+
+func TestHotspotIncreasesAborts(t *testing.T) {
+	run := func(hot float64) float64 {
+		wl := workload.NewBank(64, 80, 1000, hot, 3)
+		sys := core.NewSystem(machine.Niagara(), core.WithContentionManager(stm.Timestamp{}))
+		res, err := Run(sys, wl, 16, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TM.AbortRate()
+	}
+	cold := run(0)
+	hot := run(0.95)
+	if hot <= cold {
+		t.Fatalf("hot-spot abort rate %.3f not above uniform %.3f", hot, cold)
+	}
+}
+
+func TestMoreWorkersFinishSooner(t *testing.T) {
+	wl := workload.NewBank(256, 64, 1000, 0, 5)
+	tOf := func(workers int) float64 {
+		sys := core.NewSystem(machine.Niagara(), core.WithContentionManager(stm.Timestamp{}))
+		res, err := Run(sys, wl, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Report().T())
+	}
+	t1, t8 := tOf(1), tOf(8)
+	if t8 >= t1 {
+		t.Fatalf("8 workers (T=%.0f) not faster than 1 (T=%.0f)", t8, t1)
+	}
+}
+
+func TestDeclinedTransfersAreCounted(t *testing.T) {
+	// Initial balance 1, amounts ≥ 1; hot from-account drains fast →
+	// declines must appear and be counted.
+	wl := workload.NewBank(4, 40, 1, 0.9, 11)
+	sys := core.NewSystem(machine.Niagara())
+	res, err := Run(sys, wl, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Declined == 0 {
+		t.Fatal("expected declines under drained accounts")
+	}
+}
+
+func TestThroughputPositive(t *testing.T) {
+	wl := workload.NewBank(32, 30, 500, 0.1, 13)
+	sys := core.NewSystem(machine.Niagara())
+	res, err := Run(sys, wl, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("throughput %g", res.Throughput())
+	}
+}
+
+func TestZeroWorkersRejected(t *testing.T) {
+	sys := core.NewSystem(machine.Niagara())
+	if _, err := Run(sys, workload.NewBank(4, 1, 10, 0, 1), 0, nil); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+}

@@ -1,0 +1,294 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/machine"
+)
+
+func randVals(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()*10 - 5
+	}
+	return out
+}
+
+// --- Reduce -----------------------------------------------------------
+
+func TestReduceMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		vals := randVals(32, int64(p))
+		sys := core.NewSystem(machine.Niagara())
+		res, err := Reduce(sys, vals, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		want := SequentialSum(vals)
+		if math.Abs(res.Sum-want) > 1e-9 {
+			t.Fatalf("p=%d: sum %g, want %g", p, res.Sum, want)
+		}
+		if res.Rounds != log2(p) {
+			t.Fatalf("p=%d: rounds %d, want %d", p, res.Rounds, log2(p))
+		}
+	}
+}
+
+func TestReduceRejectsBadInputs(t *testing.T) {
+	sys := core.NewSystem(machine.Niagara())
+	if _, err := Reduce(sys, randVals(8, 1), 3); err == nil {
+		t.Fatal("non-power-of-two p accepted")
+	}
+	if _, err := Reduce(core.NewSystem(machine.Niagara()), randVals(9, 1), 4); err == nil {
+		t.Fatal("indivisible input accepted")
+	}
+	if _, err := Reduce(core.NewSystem(machine.Niagara()), nil, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReduceLogarithmicCriticalPath(t *testing.T) {
+	// With enough local work, widening the tree pays: 16-way does 4×
+	// less local summing than 4-way and only two more O(L) tree
+	// levels. (On tiny inputs the opposite holds — see the crossover
+	// test below — which is exactly the tradeoff the cost model is
+	// for.)
+	sysA := core.NewSystem(machine.Niagara())
+	r4, err := Reduce(sysA, randVals(1024, 3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB := core.NewSystem(machine.Niagara())
+	r16, err := Reduce(sysB, randVals(1024, 3), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Rounds != r4.Rounds+2 {
+		t.Fatalf("rounds %d vs %d", r16.Rounds, r4.Rounds)
+	}
+	if r16.CriticalPathT() >= r4.CriticalPathT() {
+		t.Fatalf("16-way T=%d not below 4-way T=%d", r16.CriticalPathT(), r4.CriticalPathT())
+	}
+}
+
+func TestReduceCommunicationCrossover(t *testing.T) {
+	// On a tiny input the tree's message latency dominates and fewer
+	// processes win — the who-wins crossover the model predicts.
+	sysA := core.NewSystem(machine.Niagara())
+	small4, err := Reduce(sysA, randVals(64, 3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB := core.NewSystem(machine.Niagara())
+	small16, err := Reduce(sysB, randVals(64, 3), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small16.CriticalPathT() <= small4.CriticalPathT() {
+		t.Fatalf("expected comm-dominated 16-way (T=%d) to lose to 4-way (T=%d) on a tiny input",
+			small16.CriticalPathT(), small4.CriticalPathT())
+	}
+}
+
+func TestReduceModelTracksMeasurement(t *testing.T) {
+	p := 8
+	vals := randVals(8, 9) // block = 1: no local phase, tree only
+	sys := core.NewSystem(machine.Niagara())
+	res, err := Reduce(sys, vals, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := cost.FromCostTable(machine.Niagara().Costs)
+	model := ReduceModel(p, cm)
+	pred := model.T(cm)
+	meas := float64(res.CriticalPathT())
+	if meas < pred*0.4 || meas > pred*2.5 {
+		t.Fatalf("measured %g vs predicted %g out of band", meas, pred)
+	}
+}
+
+// --- Scan -------------------------------------------------------------
+
+func TestScanMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 16} {
+		vals := randVals(n, int64(n)+100)
+		sys := core.NewSystem(machine.Niagara())
+		res, err := Scan(sys, vals)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := SequentialScan(vals)
+		for i := range want {
+			if math.Abs(res.Prefix[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: prefix[%d] = %g, want %g", n, i, res.Prefix[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanEmptyRejected(t *testing.T) {
+	sys := core.NewSystem(machine.Niagara())
+	if _, err := Scan(sys, nil); err == nil {
+		t.Fatal("empty scan accepted")
+	}
+}
+
+func TestScanQuick(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		sys := core.NewSystem(machine.Niagara())
+		res, err := Scan(sys, vals)
+		if err != nil {
+			return false
+		}
+		want := SequentialScan(vals)
+		for i := range want {
+			if math.Abs(res.Prefix[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Odd-even sort ------------------------------------------------------
+
+func TestOddEvenSortMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 7, 12, 16} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+		}
+		sys := core.NewSystem(machine.Niagara())
+		res, err := OddEvenSort(sys, vals)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !IsSorted(res.Sorted) {
+			t.Fatalf("n=%d: output not sorted: %v", n, res.Sorted)
+		}
+		want := SequentialSort(vals)
+		for i := range want {
+			if res.Sorted[i] != want[i] {
+				t.Fatalf("n=%d: element %d = %d, want %d", n, i, res.Sorted[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOddEvenSortWorstCase(t *testing.T) {
+	// Reverse-sorted input needs the full n rounds.
+	n := 10
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(n - i)
+	}
+	sys := core.NewSystem(machine.Niagara())
+	res, err := OddEvenSort(sys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSorted(res.Sorted) {
+		t.Fatalf("reverse input not sorted: %v", res.Sorted)
+	}
+	if res.Rounds != n {
+		t.Fatalf("rounds %d, want %d", res.Rounds, n)
+	}
+}
+
+func TestOddEvenSortQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 10 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		sys := core.NewSystem(machine.Niagara())
+		res, err := OddEvenSort(sys, vals)
+		return err == nil && IsSorted(res.Sorted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- MatMul -------------------------------------------------------------
+
+func randMat(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	return m
+}
+
+func TestMatMulMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		n := 8
+		a, b := randMat(n, 1), randMat(n, 2)
+		sys := core.NewSystem(machine.Niagara())
+		res, err := MatMul(sys, a, b, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		want := SequentialMatMul(a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(res.C[i][j]-want[i][j]) > 1e-9 {
+					t.Fatalf("p=%d: C[%d][%d] = %g, want %g", p, i, j, res.C[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulParallelismHelps(t *testing.T) {
+	n := 8
+	a, b := randMat(n, 3), randMat(n, 4)
+	tOf := func(p int) float64 {
+		sys := core.NewSystem(machine.Niagara())
+		res, err := MatMul(sys, a, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Group.Report().T())
+	}
+	if t4, t1 := tOf(4), tOf(1); t4 >= t1 {
+		t.Fatalf("4-way T=%g not below 1-way T=%g", t4, t1)
+	}
+}
+
+func TestMatMulRejectsBadInputs(t *testing.T) {
+	sys := core.NewSystem(machine.Niagara())
+	if _, err := MatMul(sys, randMat(4, 1), randMat(4, 2), 3); err == nil {
+		t.Fatal("p not dividing n accepted")
+	}
+	if _, err := MatMul(core.NewSystem(machine.Niagara()), nil, nil, 1); err == nil {
+		t.Fatal("empty matrices accepted")
+	}
+	if _, err := MatMul(core.NewSystem(machine.Niagara()), randMat(4, 1), randMat(3, 2), 1); err == nil {
+		t.Fatal("mismatched matrices accepted")
+	}
+}

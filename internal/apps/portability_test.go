@@ -1,0 +1,100 @@
+// Package apps_test checks machine portability: the example algorithms'
+// correctness invariants must hold on every machine preset — Niagara,
+// the multi-chip Generic system, a single core and a heterogeneous
+// big.LITTLE — since the STAMP model abstracts all of them behind the
+// same parameter set.
+package apps_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/apsp"
+	"repro/internal/apps/bank"
+	"repro/internal/apps/jacobi"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+func presets() map[string]machine.Config {
+	return map[string]machine.Config{
+		"niagara":   machine.Niagara(),
+		"generic":   machine.Generic(),
+		"single":    machine.SingleCore(),
+		"biglittle": machine.BigLittle(2, 2, 0.5),
+	}
+}
+
+func TestJacobiCorrectOnEveryPreset(t *testing.T) {
+	ls := workload.NewLinearSystem(6, 777)
+	seq, _ := jacobi.Sequential(ls, 8, 0)
+	for name, cfg := range presets() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			sys := core.NewSystem(cfg)
+			res, err := jacobi.Run(sys, jacobi.Config{System: ls, Iters: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range seq {
+				if d := res.X[i] - seq[i]; d > 1e-12 || d < -1e-12 {
+					t.Fatalf("component %d deviates on %s", i, name)
+				}
+			}
+		})
+	}
+}
+
+func TestAPSPCorrectOnEveryPreset(t *testing.T) {
+	g := workload.NewRandomGraph(6, 0.4, 12, 777)
+	want := apsp.FloydWarshall(g)
+	for name, cfg := range presets() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			sys := core.NewSystem(cfg)
+			res, err := apsp.Run(sys, apsp.Config{Graph: g, Mode: apsp.Async})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !apsp.Equal(res.Dist, want) {
+				t.Fatalf("distances wrong on %s", name)
+			}
+		})
+	}
+}
+
+func TestBankConservesOnEveryPreset(t *testing.T) {
+	for name, cfg := range presets() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			wl := workload.NewBank(16, 40, 500, 0.4, 777)
+			sys := core.NewSystem(cfg, core.WithContentionManager(stm.Timestamp{}))
+			res, err := bank.Run(sys, wl, 4, nil) // Run enforces conservation
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Succeeded+res.Declined != len(wl.Transfers) {
+				t.Fatalf("lost transfers on %s", name)
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossRepeatedRuns(t *testing.T) {
+	// The same program on the same preset yields identical reports.
+	run := func() string {
+		ls := workload.NewLinearSystem(5, 3)
+		sys := core.NewSystem(machine.Generic())
+		res, err := jacobi.Run(sys, jacobi.Config{System: ls, Iters: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := res.Report()
+		return fmt.Sprintf("%d|%.6f|%+v", rep.T(), rep.E(), rep.Ops)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic reports:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// Dist is the STAMP distribution attribute: where a group's processes
+// are placed relative to processor boundaries.
+type Dist int
+
+const (
+	// IntraProc packs processes onto hardware threads of as few
+	// processors as possible (the paper's intra_proc keyword).
+	IntraProc Dist = iota
+	// InterProc spreads processes across processors (inter_proc).
+	InterProc
+)
+
+// String returns the paper's keyword for the attribute.
+func (d Dist) String() string {
+	if d == IntraProc {
+		return "intra_proc"
+	}
+	return "inter_proc"
+}
+
+// Exec is the STAMP execution attribute.
+type Exec int
+
+const (
+	// AsyncExec lets each process proceed without restriction
+	// (async_exec).
+	AsyncExec Exec = iota
+	// TransExec marks execution as transactional: code (or parts of
+	// it) runs atomically with optimistic commit/abort (trans_exec).
+	TransExec
+)
+
+// String returns the paper's keyword for the attribute.
+func (e Exec) String() string {
+	if e == TransExec {
+		return "trans_exec"
+	}
+	return "async_exec"
+}
+
+// Comm is the STAMP communication attribute.
+type Comm int
+
+const (
+	// AsyncComm lets communication proceed without blocking or
+	// serialization; the algorithm supplies any needed synchronization
+	// explicitly (async_comm).
+	AsyncComm Comm = iota
+	// SynchComm serializes shared-memory access and blocks message
+	// passing; groups barrier at the end of every S-round (synch_comm).
+	SynchComm
+)
+
+// String returns the paper's keyword for the attribute.
+func (c Comm) String() string {
+	if c == SynchComm {
+		return "synch_comm"
+	}
+	return "async_comm"
+}
+
+// Attrs is the full attribute set of a STAMP process group: one value
+// per axis of Table 1 plus the distribution attribute.
+type Attrs struct {
+	Dist Dist
+	Exec Exec
+	Comm Comm
+}
+
+// String renders like the paper's bracket notation, e.g.
+// "[intra_proc, async_exec, synch_comm]".
+func (a Attrs) String() string {
+	return fmt.Sprintf("[%v, %v, %v]", a.Dist, a.Exec, a.Comm)
+}
+
+// Table1 returns the four (execution × communication) combinations of
+// the paper's Table 1, with the given distribution attribute.
+func Table1(d Dist) []Attrs {
+	return []Attrs{
+		{Dist: d, Exec: TransExec, Comm: SynchComm},
+		{Dist: d, Exec: AsyncExec, Comm: SynchComm},
+		{Dist: d, Exec: TransExec, Comm: AsyncComm},
+		{Dist: d, Exec: AsyncExec, Comm: AsyncComm},
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/msgpass"
+	"repro/internal/sim"
+	"repro/internal/stm"
+	"repro/internal/trace"
+)
+
+// Ctx is the execution context of one STAMP process: it binds the
+// simulated process to a hardware thread, carries the operation
+// counters, and provides the structured S-unit/S-round API. Ctx
+// implements the Agent interface of the memory, msgpass and stm
+// substrates, so it is passed directly to their operations.
+type Ctx struct {
+	sys    *System
+	g      *Group
+	idx    int
+	p      *sim.Proc
+	thread machine.ThreadID
+	c      energy.Counters
+	frac   float64
+	ep     *msgpass.Endpoint
+
+	unit    int
+	round   int
+	inRound bool
+	inUnit  bool
+
+	roundStart sim.Time
+	roundBase  energy.Counters
+	unitStart  sim.Time
+	unitBase   energy.Counters
+
+	rounds []RoundRec
+	units  []UnitRec
+
+	start, end sim.Time
+}
+
+// RoundRec is the measured cost of one S-round of one process:
+// its T_S-round and the operation deltas that determine E_S-round.
+type RoundRec struct {
+	Unit  int // S-unit index the round belongs to
+	Round int // round index within the process
+	Start sim.Time
+	End   sim.Time
+	Ops   energy.Counters
+}
+
+// T returns the round's measured execution time.
+func (r RoundRec) T() sim.Time { return r.End - r.Start }
+
+// UnitRec is the measured cost of one S-unit of one process.
+type UnitRec struct {
+	Index  int
+	Start  sim.Time
+	End    sim.Time
+	Rounds int
+	Ops    energy.Counters
+}
+
+// T returns the unit's measured execution time.
+func (u UnitRec) T() sim.Time { return u.End - u.Start }
+
+// --- identity -------------------------------------------------------
+
+// Index returns the process's rank within its group, in [0, GroupSize).
+func (c *Ctx) Index() int { return c.idx }
+
+// GroupSize returns the number of processes in the group.
+func (c *Ctx) GroupSize() int { return c.g.n }
+
+// Group returns the owning group.
+func (c *Ctx) Group() *Group { return c.g }
+
+// System returns the owning system.
+func (c *Ctx) System() *System { return c.sys }
+
+// Proc returns the simulated process (Agent interface).
+func (c *Ctx) Proc() *sim.Proc { return c.p }
+
+// Thread returns the bound hardware thread (Agent interface).
+func (c *Ctx) Thread() machine.ThreadID { return c.thread }
+
+// Counters returns the process's counters (Agent interface).
+func (c *Ctx) Counters() *energy.Counters { return &c.c }
+
+// Endpoint returns the process's message-passing mailbox.
+func (c *Ctx) Endpoint() *msgpass.Endpoint { return c.ep }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.p.Now() }
+
+// --- local computation ----------------------------------------------
+
+// HoldCost charges fractional virtual time with deterministic carry
+// (Agent interface).
+func (c *Ctx) HoldCost(ticks float64) {
+	if ticks < 0 {
+		panic("core: negative cost")
+	}
+	c.frac += ticks
+	if c.frac >= 1 {
+		n := sim.Time(c.frac)
+		c.frac -= float64(n)
+		c.p.Hold(n)
+	}
+}
+
+// FpOps performs n local floating-point operations: advances time by
+// n·t_fp (scaled by the core's clock multiplier on heterogeneous
+// machines) and counts c_fp.
+func (c *Ctx) FpOps(n int64) {
+	if n < 0 {
+		panic("core: negative op count")
+	}
+	c.c.FpOps += n
+	c.holdCompute(n, c.sys.M.Cfg.Costs.TFp)
+}
+
+// IntOps performs n local integer operations: advances time by n·t_int
+// (core-clock scaled) and counts c_int.
+func (c *Ctx) IntOps(n int64) {
+	if n < 0 {
+		panic("core: negative op count")
+	}
+	c.c.IntOps += n
+	c.holdCompute(n, c.sys.M.Cfg.Costs.TInt)
+}
+
+// holdCompute charges n local ops of base latency t, honoring the
+// core's frequency multiplier. The homogeneous fast path holds whole
+// ticks exactly; heterogeneous cores accumulate fractional ticks.
+func (c *Ctx) holdCompute(n int64, t sim.Time) {
+	cfg := c.sys.M.Cfg
+	core := cfg.CoreOf(c.thread)
+	if mult := cfg.CoreMult(core); mult != 1 {
+		c.HoldCost(cfg.ComputeTime(core, n, float64(t)))
+		return
+	}
+	c.p.Hold(sim.Time(n) * t)
+}
+
+// computeEnergyScale returns the per-op energy multiplier of this
+// process's core.
+func (c *Ctx) computeEnergyScale() float64 {
+	return c.sys.M.Cfg.ComputeEnergyScale(c.sys.M.Cfg.CoreOf(c.thread))
+}
+
+// LocalOps performs a mixed batch of local computation.
+func (c *Ctx) LocalOps(fp, integer int64) {
+	c.FpOps(fp)
+	c.IntOps(integer)
+}
+
+// --- S-unit / S-round structure --------------------------------------
+
+// SUnit runs fn as one S-unit: a minimal sequential phase made of
+// S-rounds plus local computation outside rounds. Units may not nest.
+func (c *Ctx) SUnit(fn func()) {
+	if c.inUnit {
+		panic("core: S-units may not nest (an S-unit is a minimal sequential process)")
+	}
+	c.inUnit = true
+	c.unitStart = c.p.Now()
+	c.unitBase = c.c
+	c.traceEvent(trace.UnitStart, fmt.Sprintf("unit %d", c.unit))
+	roundsBefore := len(c.rounds)
+	fn()
+	rec := UnitRec{
+		Index:  c.unit,
+		Start:  c.unitStart,
+		End:    c.p.Now(),
+		Rounds: len(c.rounds) - roundsBefore,
+	}
+	rec.Ops = c.c
+	rec.Ops.SubFrom(c.unitBase)
+	c.units = append(c.units, rec)
+	c.traceEvent(trace.UnitEnd, fmt.Sprintf("unit %d", c.unit))
+	c.unit++
+	c.inUnit = false
+}
+
+// SRound runs fn as one S-round: receive/read, local computation, then
+// send/write, per the paper's round structure. Under synch_comm the
+// group barriers at the end of the round (the Jacobi example's
+// "implicit barrier synchronization"); the barrier wait is part of the
+// round's measured time.
+func (c *Ctx) SRound(fn func()) {
+	if c.inRound {
+		panic("core: S-rounds may not nest")
+	}
+	c.inRound = true
+	c.roundStart = c.p.Now()
+	c.roundBase = c.c
+	c.traceEvent(trace.RoundStart, fmt.Sprintf("round %d", c.round))
+	fn()
+	if c.g.attrs.Comm == SynchComm && c.g.n > 1 {
+		before := c.p.Now()
+		c.g.bar.Await(c.p)
+		if wait := c.p.Now() - before; wait > 0 {
+			c.traceEvent(trace.BarrierWait, fmt.Sprintf("waited %d", wait))
+		}
+	}
+	rec := RoundRec{
+		Unit:  c.unit,
+		Round: c.round,
+		Start: c.roundStart,
+		End:   c.p.Now(),
+	}
+	rec.Ops = c.c
+	rec.Ops.SubFrom(c.roundBase)
+	c.rounds = append(c.rounds, rec)
+	c.traceEvent(trace.RoundEnd, fmt.Sprintf("round %d", c.round))
+	c.round++
+	c.inRound = false
+}
+
+// Rounds returns the per-round measurements recorded so far.
+func (c *Ctx) Rounds() []RoundRec { return c.rounds }
+
+// Units returns the per-unit measurements recorded so far.
+func (c *Ctx) Units() []UnitRec { return c.units }
+
+// Barrier blocks until every group member reaches it (explicit
+// synchronization for async_comm algorithms that need one).
+func (c *Ctx) Barrier() {
+	if c.g.n > 1 {
+		c.g.bar.Await(c.p)
+	}
+}
+
+// --- communication helpers -------------------------------------------
+
+// Peer returns group member j's mailbox.
+func (c *Ctx) Peer(j int) *msgpass.Endpoint {
+	if j < 0 || j >= c.g.n {
+		panic(fmt.Sprintf("core: peer index %d out of range [0,%d)", j, c.g.n))
+	}
+	return c.g.ctxs[j].ep
+}
+
+// SendTo sends payload to group member j. Under synch_comm the send
+// blocks until delivery; under async_comm it is fire-and-forget.
+func (c *Ctx) SendTo(j int, payload any) {
+	dst := c.Peer(j)
+	c.traceEvent(trace.Send, "to "+dst.Name())
+	if c.g.attrs.Comm == SynchComm {
+		c.ep.SendSync(c, dst, payload)
+	} else {
+		c.ep.Send(c, dst, payload)
+	}
+}
+
+// Recv blocks until a message addressed to this process arrives and
+// returns it.
+func (c *Ctx) Recv() msgpass.Message {
+	m := c.ep.Recv(c)
+	if m.From != nil {
+		c.traceEvent(trace.Recv, "from "+m.From.Name())
+	}
+	return m
+}
+
+// RecvN receives exactly n messages.
+func (c *Ctx) RecvN(n int) []msgpass.Message { return c.ep.RecvN(c, n) }
+
+// BroadcastAll sends payload to every other group member (asynchronous
+// injection regardless of the comm attribute; synch_comm algorithms
+// follow a broadcast with a barrier, as in the Jacobi example).
+func (c *Ctx) BroadcastAll(payload any) {
+	for j := 0; j < c.g.n; j++ {
+		if j == c.idx {
+			continue
+		}
+		c.ep.Send(c, c.g.ctxs[j].ep, payload)
+	}
+}
+
+// --- transactional execution -----------------------------------------
+
+// Atomically runs body as a transaction on the system's STM (the
+// trans_exec attribute's realization).
+func (c *Ctx) Atomically(body func(tx *stm.Tx) error) (stm.Outcome, error) {
+	out, err := c.sys.TM.Atomically(c, body)
+	if c.sys.Tracer.Enabled() {
+		if out.Committed {
+			c.traceEvent(trace.TxCommit, fmt.Sprintf("attempts %d", out.Attempts))
+		} else {
+			c.traceEvent(trace.TxAbort, fmt.Sprintf("attempts %d err %v", out.Attempts, err))
+		}
+	}
+	return out, err
+}
+
+// AtomicallyWait is Atomically with Retry support: a body that calls
+// tx.Retry() blocks this process until another transaction commits,
+// then re-executes.
+func (c *Ctx) AtomicallyWait(body func(tx *stm.Tx) error) (stm.Outcome, error) {
+	out, err := c.sys.TM.AtomicallyWait(c, body)
+	if c.sys.Tracer.Enabled() {
+		if out.Committed {
+			c.traceEvent(trace.TxCommit, fmt.Sprintf("attempts %d", out.Attempts))
+		} else {
+			c.traceEvent(trace.TxAbort, fmt.Sprintf("attempts %d err %v", out.Attempts, err))
+		}
+	}
+	return out, err
+}
+
+// AtomicallyOrElse composes two alternatives: if first retries, second
+// runs; if both retry, the process blocks until a commit.
+func (c *Ctx) AtomicallyOrElse(first, second func(tx *stm.Tx) error) (stm.Outcome, error) {
+	return c.sys.TM.AtomicallyOrElse(c, first, second)
+}
+
+// traceEvent records an event when tracing is enabled.
+func (c *Ctx) traceEvent(k trace.Kind, detail string) {
+	if c.sys.Tracer.Enabled() {
+		c.sys.Tracer.Record(c.p.Now(), c.p.Name(), k, detail)
+	}
+}
+
+// Trace records a custom application event when tracing is enabled.
+func (c *Ctx) Trace(detail string) { c.traceEvent(trace.Custom, detail) }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Group is a set of STAMP processes spawned together with common
+// attributes — the paper's "parallel or distributed STAMPs" whose
+// aggregate complexity follows rule 5 of §3.1 (T = max, E = sum,
+// P = E/T).
+type Group struct {
+	sys       *System
+	name      string
+	attrs     Attrs
+	n         int
+	ctxs      []*Ctx
+	bar       *sim.Barrier
+	placement Placement
+}
+
+// GroupOption configures a group at spawn time.
+type GroupOption func(*groupConfig)
+
+type groupConfig struct {
+	placement Placement
+}
+
+// WithPlacement overrides the default distribution-attribute placement
+// with an explicit thread assignment (len must equal the group size).
+// The power-aware allocator in internal/sched produces such placements.
+func WithPlacement(pl Placement) GroupOption {
+	return func(gc *groupConfig) { gc.placement = pl }
+}
+
+// NewGroup spawns n STAMP processes running body with the given
+// attributes. body receives each member's Ctx; member ranks are
+// ctx.Index() ∈ [0, n). Processes start at the current virtual time.
+func (sys *System) NewGroup(name string, attrs Attrs, n int, body func(ctx *Ctx)) *Group {
+	return sys.NewGroupOpts(name, attrs, n, body)
+}
+
+// NewGroupOpts is NewGroup with options.
+func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *Ctx), opts ...GroupOption) *Group {
+	if n < 1 {
+		panic("core: group needs at least one process")
+	}
+	var gc groupConfig
+	for _, o := range opts {
+		o(&gc)
+	}
+	pl := gc.placement
+	if pl == nil {
+		pl = sys.PlaceGroup(attrs.Dist, n)
+	}
+	if len(pl) != n {
+		panic(fmt.Sprintf("core: placement size %d != group size %d", len(pl), n))
+	}
+
+	g := &Group{
+		sys:       sys,
+		name:      name,
+		attrs:     attrs,
+		n:         n,
+		bar:       sim.NewBarrier(sys.K, n),
+		placement: pl,
+	}
+	g.ctxs = make([]*Ctx, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ctx := &Ctx{sys: sys, g: g, idx: i, thread: pl[i]}
+		ctx.ep = sys.Net.NewEndpoint(fmt.Sprintf("%s/%d", name, i), pl[i])
+		sys.M.Bind(pl[i])
+		g.ctxs[i] = ctx
+		ctx.p = sys.K.Spawn(fmt.Sprintf("%s/%d", name, i), func(p *sim.Proc) {
+			ctx.start = p.Now()
+			defer func() {
+				ctx.end = p.Now()
+				sys.M.Release(ctx.thread)
+			}()
+			body(ctx)
+		})
+		ctx.p.Ctx = ctx
+	}
+	sys.groups = append(sys.groups, g)
+	return g
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Attrs returns the group's STAMP attributes.
+func (g *Group) Attrs() Attrs { return g.attrs }
+
+// Size returns the number of member processes.
+func (g *Group) Size() int { return g.n }
+
+// Ctxs returns the member contexts in rank order.
+func (g *Group) Ctxs() []*Ctx { return g.ctxs }
+
+// Placement returns the thread assignment of the group.
+func (g *Group) Placement() Placement { return g.placement }
+
+// Await blocks the calling STAMP process until every member of g has
+// finished — how a parent waits for a nested STAMP (rule 4 of §3.1).
+func (g *Group) Await(parent *Ctx) {
+	for _, c := range g.ctxs {
+		parent.p.Join(c.p)
+	}
+}
+
+// ThreadsPerCoreUsed returns, per core index, how many group members
+// are placed on that core — the quantity the power-envelope analysis
+// constrains.
+func (g *Group) ThreadsPerCoreUsed() map[int]int {
+	out := make(map[int]int)
+	for _, t := range g.placement {
+		out[g.sys.M.Cfg.CoreOf(machine.ThreadID(t))]++
+	}
+	return out
+}

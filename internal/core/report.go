@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// ProcReport is the measured cost of one STAMP process (rule 3 of
+// §3.1: sums over its S-units).
+type ProcReport struct {
+	Index   int
+	Thread  machine.ThreadID
+	Start   sim.Time
+	End     sim.Time
+	Ops     energy.Counters
+	EnergyE float64
+}
+
+// T returns the process's execution time.
+func (p ProcReport) T() sim.Time { return p.End - p.Start }
+
+// GroupReport aggregates a finished group per rule 5 of §3.1: execution
+// time is the max over members, energy is the sum, power is E/T.
+type GroupReport struct {
+	Name    string
+	Attrs   Attrs
+	N       int
+	Start   sim.Time
+	End     sim.Time
+	Ops     energy.Counters // sum over members
+	EnergyE float64         // sum over members
+	PerProc []ProcReport
+}
+
+// Report computes the group's aggregate report. Call it after the
+// simulation has run to completion.
+func (g *Group) Report() GroupReport {
+	costs := g.sys.M.Cfg.Costs
+	r := GroupReport{Name: g.name, Attrs: g.attrs, N: g.n}
+	for i, c := range g.ctxs {
+		e := energy.EnergyScaled(c.c, costs, c.computeEnergyScale())
+		pr := ProcReport{
+			Index:   c.idx,
+			Thread:  c.thread,
+			Start:   c.start,
+			End:     c.end,
+			Ops:     c.c,
+			EnergyE: e,
+		}
+		r.PerProc = append(r.PerProc, pr)
+		if i == 0 || c.start < r.Start {
+			r.Start = c.start
+		}
+		if c.end > r.End {
+			r.End = c.end
+		}
+		r.Ops.Add(c.c)
+		r.EnergyE += e
+	}
+	return r
+}
+
+// T returns the group execution time (max over members).
+func (r GroupReport) T() sim.Time { return r.End - r.Start }
+
+// E returns the group energy (sum over members).
+func (r GroupReport) E() float64 { return r.EnergyE }
+
+// Power returns the mean group power E/T.
+func (r GroupReport) Power() float64 { return r.Energy().Power() }
+
+// Energy returns the (D, E) pair with the derived §2.1 metrics.
+func (r GroupReport) Energy() energy.Report {
+	return energy.Report{D: r.T(), E: r.EnergyE}
+}
+
+// PowerPerCore returns mean power dissipated per core by this group's
+// members, keyed by global core index — the quantity checked against
+// the paper's per-processor power envelope.
+func (r GroupReport) PowerPerCore(cfg machine.Config, costs machine.CostTable) map[int]float64 {
+	t := r.T()
+	out := make(map[int]float64)
+	if t == 0 {
+		return out
+	}
+	for _, p := range r.PerProc {
+		out[cfg.CoreOf(p.Thread)] += p.EnergyE / float64(t)
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r GroupReport) String() string {
+	return fmt.Sprintf("%s %v n=%d %v", r.Name, r.Attrs, r.N, r.Energy())
+}
+
+// RoundStats is the group-level aggregate of one (unit, round) position
+// across members: the paper's T_S-round is the max over the parallel
+// processes; E_S-round sums.
+type RoundStats struct {
+	Unit, Round int
+	MaxT        sim.Time
+	SumE        float64
+	Count       int // members that executed this round
+}
+
+// RoundStats aggregates round (unit, round) across the group.
+func (g *Group) RoundStats(unit, round int) RoundStats {
+	costs := g.sys.M.Cfg.Costs
+	rs := RoundStats{Unit: unit, Round: round}
+	for _, c := range g.ctxs {
+		for _, rec := range c.rounds {
+			if rec.Unit == unit && rec.Round == round {
+				if t := rec.T(); t > rs.MaxT {
+					rs.MaxT = t
+				}
+				rs.SumE += energy.EnergyScaled(rec.Ops, costs, c.computeEnergyScale())
+				rs.Count++
+			}
+		}
+	}
+	return rs
+}
+
+// UnitStats aggregates S-unit number unit across the group: max T,
+// summed E.
+func (g *Group) UnitStats(unit int) RoundStats {
+	costs := g.sys.M.Cfg.Costs
+	rs := RoundStats{Unit: unit, Round: -1}
+	for _, c := range g.ctxs {
+		for _, rec := range c.units {
+			if rec.Index == unit {
+				if t := rec.T(); t > rs.MaxT {
+					rs.MaxT = t
+				}
+				rs.SumE += energy.EnergyScaled(rec.Ops, costs, c.computeEnergyScale())
+				rs.Count++
+			}
+		}
+	}
+	return rs
+}
+
+// MaxRounds returns the largest per-process round count in the group.
+func (g *Group) MaxRounds() int {
+	max := 0
+	for _, c := range g.ctxs {
+		if len(c.rounds) > max {
+			max = len(c.rounds)
+		}
+	}
+	return max
+}
+
+// MaxUnits returns the largest per-process S-unit count in the group.
+func (g *Group) MaxUnits() int {
+	max := 0
+	for _, c := range g.ctxs {
+		if len(c.units) > max {
+			max = len(c.units)
+		}
+	}
+	return max
+}
+
+// Table renders per-process rows for harness output.
+func (r GroupReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "group %s %v\n", r.Name, r.Attrs)
+	fmt.Fprintf(&b, "%6s %7s %10s %12s %10s\n", "proc", "thread", "T", "E", "P")
+	for _, p := range r.PerProc {
+		rep := energy.Report{D: p.T(), E: p.EnergyE}
+		fmt.Fprintf(&b, "%6d %7d %10d %12.1f %10.3f\n", p.Index, p.Thread, p.T(), p.EnergyE, rep.Power())
+	}
+	fmt.Fprintf(&b, "%6s %7s %10d %12.1f %10.3f\n", "group", "-", r.T(), r.EnergyE, r.Power())
+	return b.String()
+}

@@ -1,0 +1,109 @@
+// Package core implements the STAMP algorithmic model itself: processes
+// with the paper's attribute axes (distribution, execution,
+// communication), structured into S-units and S-rounds, executing over
+// the simulated CMP/CMT machine with full time/energy/power accounting
+// per the complexity rules of §3.1.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/memory"
+	"repro/internal/msgpass"
+	"repro/internal/sim"
+	"repro/internal/stm"
+	"repro/internal/trace"
+)
+
+// System bundles one simulated machine with its substrates: queued
+// shared memory, the message-passing network and the transactional
+// memory. STAMP process groups are spawned on a System.
+type System struct {
+	K   *sim.Kernel
+	M   *machine.Machine
+	Mem *memory.Memory
+	Net *msgpass.Network
+	TM  *stm.STM
+
+	// Tracer, when non-nil, records structured execution events
+	// (S-round boundaries, communication, transaction outcomes).
+	Tracer *trace.Recorder
+
+	groups []*Group
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithContentionManager selects the STM contention manager (default
+// Passive).
+func WithContentionManager(m stm.ContentionManager) Option {
+	return func(s *System) { s.TM.Manager = m }
+}
+
+// WithTracer attaches an execution-event recorder.
+func WithTracer(r *trace.Recorder) Option {
+	return func(s *System) { s.Tracer = r }
+}
+
+// NewSystem builds a System on a fresh kernel for machine configuration
+// cfg.
+func NewSystem(cfg machine.Config, opts ...Option) *System {
+	k := sim.NewKernel()
+	m := machine.New(k, cfg)
+	sys := &System{
+		K:   k,
+		M:   m,
+		Mem: memory.New(m),
+		Net: msgpass.New(m),
+		TM:  stm.New(m, nil),
+	}
+	for _, o := range opts {
+		o(sys)
+	}
+	return sys
+}
+
+// Run executes the simulation to completion and returns the kernel's
+// error, if any.
+func (sys *System) Run() error { return sys.K.Run() }
+
+// Groups returns every group spawned on the system, in creation order.
+func (sys *System) Groups() []*Group { return sys.groups }
+
+// Placement maps each group member index to a hardware thread.
+type Placement []machine.ThreadID
+
+// PlaceGroup computes the default placement of n processes under
+// distribution attribute d, taking current occupancy into account:
+//
+//   - IntraProc packs members densely, filling every hardware thread of
+//     a core before moving to the next core (minimizing inter-processor
+//     communication, the paper's stated intent for intra_proc);
+//   - InterProc deals members round-robin, one thread per core per
+//     pass, spreading power across processors.
+//
+// If n exceeds the free thread count, placement wraps and oversubscribes
+// (several STAMP processes may share a hardware thread).
+func (sys *System) PlaceGroup(d Dist, n int) Placement {
+	cfg := sys.M.Cfg
+	pl := make(Placement, n)
+	switch d {
+	case IntraProc:
+		for i := range pl {
+			pl[i] = machine.ThreadID(i % cfg.NumThreads())
+		}
+	case InterProc:
+		cores := cfg.NumCores()
+		for i := range pl {
+			core := i % cores
+			pass := i / cores
+			th := pass % cfg.ThreadsPerCore
+			pl[i] = machine.ThreadID(core*cfg.ThreadsPerCore + th)
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown distribution %d", d))
+	}
+	return pl
+}

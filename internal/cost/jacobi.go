@@ -1,0 +1,126 @@
+package cost
+
+import "math"
+
+// Jacobi reproduces the paper's §4 derivation for the distributed
+// Jacobi algorithm [intra_proc, async_exec, synch_comm] over message
+// passing. The analysis does not distinguish intra from inter
+// communication, so it is parameterized by a single message delay L and
+// bandwidth factor G, and by the §4 energy assumptions
+// w_fp = X·w_int, w_ms = w_mr = Y·w_int with X, Y ≥ 2.
+type Jacobi struct {
+	N    int     // problem size (n equations, n processes)
+	L    float64 // message delay
+	G    float64 // bandwidth factor
+	X    float64 // w_fp / w_int
+	Y    float64 // w_ms / w_int = w_mr / w_int
+	WInt float64 // base integer-op energy
+}
+
+// wfp, wms, wmr under the §4 assumptions.
+func (j Jacobi) wfp() float64 { return j.X * j.WInt }
+func (j Jacobi) wm() float64  { return j.Y * j.WInt }
+
+// TSRound returns the paper's T_S-round = 2n + L + 2gn − 2g
+// (c = 2n local ops; m_s = m_r = n−1 messages).
+func (j Jacobi) TSRound() float64 {
+	n := float64(j.N)
+	return 2*n + j.L + 2*j.G*n - 2*j.G
+}
+
+// ESRound returns the paper's
+// E_S-round = (2w_fp + w_mr + w_ms)n − w_fp + w_int − w_mr − w_ms.
+func (j Jacobi) ESRound() float64 {
+	n := float64(j.N)
+	return (2*j.wfp()+2*j.wm())*n - j.wfp() + j.WInt - 2*j.wm()
+}
+
+// TCLower returns the §4 lower bound T_c ≥ 2 for the local computation
+// outside the S-round (the loop condition and termination check).
+func (j Jacobi) TCLower() float64 { return 2 }
+
+// ECUpper returns the §4 upper bound E_c ≤ w_fp + 2w_int.
+func (j Jacobi) ECUpper() float64 { return j.wfp() + 2*j.WInt }
+
+// TSUnitLower returns T_S-unit ≥ 2n + L + 2gn − 2g + 2.
+func (j Jacobi) TSUnitLower() float64 { return j.TSRound() + j.TCLower() }
+
+// ESUnitUpper returns
+// E_S-unit ≤ (2w_fp + w_mr + w_ms)n + 3w_int − w_mr − w_ms.
+func (j Jacobi) ESUnitUpper() float64 {
+	n := float64(j.N)
+	return (2*j.wfp()+2*j.wm())*n + 3*j.WInt - 2*j.wm()
+}
+
+// PSUnitUpper returns the power bound P_S-unit ≤ E_upper / T_lower.
+func (j Jacobi) PSUnitUpper() float64 { return j.ESUnitUpper() / j.TSUnitLower() }
+
+// MinL is the paper's smallest latency argument: with lock-step rounds
+// and a unit-time barrier a message is consumed in the receiver's next
+// iteration, requiring at least five time units.
+const MinL = 5.0
+
+// MinG returns the paper's smallest bandwidth factor
+// g = 3 / (n(n−1)): at least 3 local ops per round against n(n−1)
+// messages in flight network-wide.
+func MinG(n int) float64 { return 3 / (float64(n) * float64(n-1)) }
+
+// WithPaperLowerBounds returns a copy of j using the paper's minimal
+// L = 5 and g = 3/(n(n−1)).
+func (j Jacobi) WithPaperLowerBounds() Jacobi {
+	j.L = MinL
+	j.G = MinG(j.N)
+	return j
+}
+
+// TSUnitPaperBound evaluates the paper's simplified chain
+// T_S-unit ≥ 2n + 6/n + 7 (≥ 2n), valid under the minimal L and g.
+func (j Jacobi) TSUnitPaperBound() float64 {
+	n := float64(j.N)
+	return 2*n + 6/n + 7
+}
+
+// PowerBound returns the paper's closing bound
+// P_S-unit ≤ (x+y)·w_int, obtained from E ≤ 2(x+y)·w_int·n and
+// T ≥ 2n.
+func (j Jacobi) PowerBound() float64 { return (j.X + j.Y) * j.WInt }
+
+// MaxThreadsUnderEnvelope returns how many Jacobi processes fit on one
+// processor whose power envelope is `envelope`, using the per-process
+// power bound: floor(envelope / PowerBound). With the paper's envelope
+// of 3(x+y)·w_int this is 3 — "the Jacobi algorithm should not be
+// assigned to more than three intra-processor threads per processor".
+func (j Jacobi) MaxThreadsUnderEnvelope(envelope float64) int {
+	pb := j.PowerBound()
+	if pb <= 0 {
+		return math.MaxInt32
+	}
+	return int(envelope / pb)
+}
+
+// PaperEnvelope returns the §4 example envelope 3(x+y)·w_int.
+func (j Jacobi) PaperEnvelope() float64 { return 3 * (j.X + j.Y) * j.WInt }
+
+// RoundParams expresses the Jacobi S-round in the generic model's
+// terms, for cross-checking the specialized formulas against the
+// general ones: c = 2n local ops (2n−1 flops + 1 assignment counted as
+// an integer op), n−1 sends and n−1 receives. The analysis lumps intra
+// and inter; we map everything onto the intra ("a") slots with
+// g_mp_a = G, L_a = L.
+func (j Jacobi) RoundParams() (Round, Machine) {
+	n := float64(j.N)
+	r := Round{
+		CFp:        2*n - 1,
+		CInt:       1,
+		PA:         j.N,
+		MSa:        n - 1,
+		MRa:        n - 1,
+		MsgPassing: true,
+	}
+	m := Machine{
+		TFp: 1, TInt: 1,
+		LA: j.L, GMpA: j.G,
+		WFp: j.wfp(), WInt: j.WInt, WSend: j.wm(), WRecv: j.wm(),
+	}
+	return r, m
+}

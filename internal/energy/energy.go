@@ -1,0 +1,206 @@
+// Package energy implements the STAMP power/energy complexity accounting
+// (§3.1): per-process operation counters, energy computation from a
+// machine cost table, and the four classical power-aware metrics of
+// §2.1 — D, PDP, EDP and ED²P.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Counters records the operation counts a STAMP process accumulates.
+// The fields map one-to-one onto the paper's parameters: c_fp, c_int,
+// d_r_a, d_r_e, d_w_a, d_w_e, m_s_a, m_s_e, m_r_a, m_r_e, plus
+// transactional outcomes and observed serialization (κ).
+type Counters struct {
+	FpOps  int64 // c_fp
+	IntOps int64 // c_int
+
+	ReadsIntra  int64 // d_r_a
+	ReadsInter  int64 // d_r_e
+	WritesIntra int64 // d_w_a
+	WritesInter int64 // d_w_e
+
+	SendsIntra int64 // m_s_a
+	SendsInter int64 // m_s_e
+	RecvsIntra int64 // m_r_a
+	RecvsInter int64 // m_r_e
+
+	TxCommits int64
+	TxAborts  int64 // each abort is a rollback, contributing to κ
+
+	// QueueWait is virtual time spent queued on serialized shared
+	// memory or blocked sends — the measured counterpart of the model's
+	// κ serialization term.
+	QueueWait sim.Time
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.FpOps += o.FpOps
+	c.IntOps += o.IntOps
+	c.ReadsIntra += o.ReadsIntra
+	c.ReadsInter += o.ReadsInter
+	c.WritesIntra += o.WritesIntra
+	c.WritesInter += o.WritesInter
+	c.SendsIntra += o.SendsIntra
+	c.SendsInter += o.SendsInter
+	c.RecvsIntra += o.RecvsIntra
+	c.RecvsInter += o.RecvsInter
+	c.TxCommits += o.TxCommits
+	c.TxAborts += o.TxAborts
+	c.QueueWait += o.QueueWait
+}
+
+// SubFrom subtracts base from c in place, leaving the delta accumulated
+// since the base snapshot was taken.
+func (c *Counters) SubFrom(base Counters) {
+	c.FpOps -= base.FpOps
+	c.IntOps -= base.IntOps
+	c.ReadsIntra -= base.ReadsIntra
+	c.ReadsInter -= base.ReadsInter
+	c.WritesIntra -= base.WritesIntra
+	c.WritesInter -= base.WritesInter
+	c.SendsIntra -= base.SendsIntra
+	c.SendsInter -= base.SendsInter
+	c.RecvsIntra -= base.RecvsIntra
+	c.RecvsInter -= base.RecvsInter
+	c.TxCommits -= base.TxCommits
+	c.TxAborts -= base.TxAborts
+	c.QueueWait -= base.QueueWait
+}
+
+// Reads returns d_r_a + d_r_e.
+func (c Counters) Reads() int64 { return c.ReadsIntra + c.ReadsInter }
+
+// Writes returns d_w_a + d_w_e.
+func (c Counters) Writes() int64 { return c.WritesIntra + c.WritesInter }
+
+// Sends returns m_s_a + m_s_e.
+func (c Counters) Sends() int64 { return c.SendsIntra + c.SendsInter }
+
+// Recvs returns m_r_a + m_r_e.
+func (c Counters) Recvs() int64 { return c.RecvsIntra + c.RecvsInter }
+
+// Energy computes the total energy of the counted operations under cost
+// table t, per the paper's E formula:
+//
+//	E = c_fp·w_fp + c_int·w_int + w_dr·(d_r_a+d_r_e) + w_dw·(d_w_a+d_w_e)
+//	  + w_mr·(m_r_a+m_r_e) + w_ms·(m_s_a+m_s_e)
+//
+// Aborted transactional work is already included: the ops executed
+// during a rolled-back attempt were counted when they ran, which is
+// exactly the "energy of each computation" rule — wasted speculative
+// work dissipates real energy.
+func Energy(c Counters, t machine.CostTable) float64 {
+	return EnergyScaled(c, t, 1)
+}
+
+// EnergyScaled is Energy with the local-computation terms multiplied by
+// computeScale — the per-op energy multiplier of a heterogeneous core
+// (mult², per the f³ power law). Communication energies are wire- and
+// memory-bound, not core-clock-bound, so they are left unscaled.
+func EnergyScaled(c Counters, t machine.CostTable, computeScale float64) float64 {
+	return (float64(c.FpOps)*t.WFp+float64(c.IntOps)*t.WInt)*computeScale +
+		float64(c.Reads())*t.WRead +
+		float64(c.Writes())*t.WWrite +
+		float64(c.Recvs())*t.WRecv +
+		float64(c.Sends())*t.WSend
+}
+
+// LeakageEnergy returns the static (ungated) energy of `threads`
+// hardware threads powered for duration d at per-thread-per-tick
+// leakage w. The paper's first-order model assumes perfect clock
+// gating (w = 0, §3.1: "functional units are gated off in every cycle
+// if they are not used"); this helper quantifies how conclusions shift
+// when that assumption is relaxed.
+func LeakageEnergy(w float64, d sim.Time, threads int) float64 {
+	return w * float64(d) * float64(threads)
+}
+
+// WithLeakage returns a copy of r with static energy added for
+// `threads` powered hardware threads at leakage w per thread-tick.
+func (r Report) WithLeakage(w float64, threads int) Report {
+	r.E += LeakageEnergy(w, r.D, threads)
+	return r
+}
+
+// Report is a (delay, energy) measurement with derived metrics.
+type Report struct {
+	D sim.Time // delay: execution (virtual) time
+	E float64  // energy
+}
+
+// Power returns the mean dissipated power E/D. A zero-delay report has
+// zero power by convention.
+func (r Report) Power() float64 {
+	if r.D == 0 {
+		return 0
+	}
+	return r.E / float64(r.D)
+}
+
+// Delay returns D as a float for metric arithmetic.
+func (r Report) Delay() float64 { return float64(r.D) }
+
+// PDP returns the power-delay product, which equals the energy E.
+func (r Report) PDP() float64 { return r.Power() * r.Delay() }
+
+// EDP returns the energy-delay product E·D.
+func (r Report) EDP() float64 { return r.E * r.Delay() }
+
+// ED2P returns the energy-delay-squared product E·D².
+func (r Report) ED2P() float64 { return r.E * r.Delay() * r.Delay() }
+
+// String formats the report with all four §2.1 metrics.
+func (r Report) String() string {
+	return fmt.Sprintf("D=%d E=%.1f P=%.3f PDP=%.1f EDP=%.3g ED2P=%.3g",
+		r.D, r.E, r.Power(), r.PDP(), r.EDP(), r.ED2P())
+}
+
+// Metric selects one of the four §2.1 objectives for algorithm choice.
+type Metric int
+
+const (
+	MetricD Metric = iota
+	MetricPDP
+	MetricEDP
+	MetricED2P
+)
+
+// String returns the paper's name for the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricD:
+		return "D"
+	case MetricPDP:
+		return "PDP"
+	case MetricEDP:
+		return "EDP"
+	case MetricED2P:
+		return "ED2P"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// Eval returns the report's value under metric m (lower is better for
+// all four).
+func (m Metric) Eval(r Report) float64 {
+	switch m {
+	case MetricD:
+		return r.Delay()
+	case MetricPDP:
+		return r.PDP()
+	case MetricEDP:
+		return r.EDP()
+	case MetricED2P:
+		return r.ED2P()
+	}
+	panic("energy: unknown metric")
+}
+
+// Better reports whether a beats b under metric m.
+func (m Metric) Better(a, b Report) bool { return m.Eval(a) < m.Eval(b) }

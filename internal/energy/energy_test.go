@@ -1,0 +1,226 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func costs() machine.CostTable { return machine.DefaultCosts() }
+
+func TestEnergyFormulaMatchesPaper(t *testing.T) {
+	// E = c_fp·w_fp + c_int·w_int + w_dr·Σd_r + w_dw·Σd_w + w_mr·Σm_r + w_ms·Σm_s
+	c := Counters{
+		FpOps: 10, IntOps: 20,
+		ReadsIntra: 3, ReadsInter: 4,
+		WritesIntra: 5, WritesInter: 6,
+		SendsIntra: 7, SendsInter: 8,
+		RecvsIntra: 9, RecvsInter: 10,
+	}
+	tab := costs()
+	want := 10*tab.WFp + 20*tab.WInt + 7*tab.WRead + 11*tab.WWrite + 19*tab.WRecv + 15*tab.WSend
+	if got := Energy(c, tab); got != want {
+		t.Fatalf("Energy = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyZeroCounters(t *testing.T) {
+	if got := Energy(Counters{}, costs()); got != 0 {
+		t.Fatalf("zero counters energy = %g", got)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{FpOps: 1, IntOps: 2, ReadsIntra: 3, WritesInter: 4, SendsIntra: 5, RecvsInter: 6, TxCommits: 7, TxAborts: 8, QueueWait: 9}
+	b := a
+	a.Add(b)
+	if a.FpOps != 2 || a.IntOps != 4 || a.ReadsIntra != 6 || a.WritesInter != 8 ||
+		a.SendsIntra != 10 || a.RecvsInter != 12 || a.TxCommits != 14 || a.TxAborts != 16 || a.QueueWait != 18 {
+		t.Fatalf("Add result wrong: %+v", a)
+	}
+}
+
+func TestCountersAddIsLinearForEnergy(t *testing.T) {
+	f := func(fp1, int1, fp2, int2 uint8) bool {
+		a := Counters{FpOps: int64(fp1), IntOps: int64(int1)}
+		b := Counters{FpOps: int64(fp2), IntOps: int64(int2)}
+		sum := a
+		sum.Add(b)
+		tab := costs()
+		return math.Abs(Energy(sum, tab)-(Energy(a, tab)+Energy(b, tab))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateAccessors(t *testing.T) {
+	c := Counters{ReadsIntra: 1, ReadsInter: 2, WritesIntra: 3, WritesInter: 4,
+		SendsIntra: 5, SendsInter: 6, RecvsIntra: 7, RecvsInter: 8}
+	if c.Reads() != 3 || c.Writes() != 7 || c.Sends() != 11 || c.Recvs() != 15 {
+		t.Fatalf("aggregates: %d %d %d %d", c.Reads(), c.Writes(), c.Sends(), c.Recvs())
+	}
+}
+
+func TestReportMetrics(t *testing.T) {
+	r := Report{D: 10, E: 50}
+	if r.Power() != 5 {
+		t.Fatalf("power = %g, want 5", r.Power())
+	}
+	if r.PDP() != 50 { // PDP = P·D = E
+		t.Fatalf("PDP = %g, want 50", r.PDP())
+	}
+	if r.EDP() != 500 {
+		t.Fatalf("EDP = %g, want 500", r.EDP())
+	}
+	if r.ED2P() != 5000 {
+		t.Fatalf("ED2P = %g, want 5000", r.ED2P())
+	}
+}
+
+func TestZeroDelayPowerIsZero(t *testing.T) {
+	r := Report{D: 0, E: 10}
+	if r.Power() != 0 {
+		t.Fatalf("zero-delay power = %g", r.Power())
+	}
+}
+
+func TestPDPEqualsEnergy(t *testing.T) {
+	f := func(d uint16, e uint16) bool {
+		if d == 0 {
+			return true
+		}
+		r := Report{D: sim.Time(d), E: float64(e)}
+		return math.Abs(r.PDP()-r.E) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	names := map[Metric]string{MetricD: "D", MetricPDP: "PDP", MetricEDP: "EDP", MetricED2P: "ED2P"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("metric %d name %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestMetricSelectionDiffers(t *testing.T) {
+	// Classic DVFS tradeoff: fast-and-hungry vs slow-and-frugal.
+	fast := Report{D: 10, E: 100}
+	slow := Report{D: 40, E: 30}
+	if !MetricD.Better(fast, slow) {
+		t.Error("D should prefer the fast run")
+	}
+	if !MetricPDP.Better(slow, fast) {
+		t.Error("PDP (=E) should prefer the frugal run")
+	}
+	if !MetricEDP.Better(fast, slow) {
+		// fast: 100·10=1000, slow: 30·40=1200
+		t.Error("EDP should prefer fast here")
+	}
+	if !MetricED2P.Better(fast, slow) {
+		// fast: 1e4·10=1e5... fast:100·100=1e4? compute: fast 100·10·10=1e4, slow 30·40·40=4.8e4
+		t.Error("ED2P should prefer fast here")
+	}
+}
+
+func TestMetricEvalConsistentWithBetter(t *testing.T) {
+	a := Report{D: 7, E: 13}
+	b := Report{D: 11, E: 5}
+	for _, m := range []Metric{MetricD, MetricPDP, MetricEDP, MetricED2P} {
+		if m.Better(a, b) != (m.Eval(a) < m.Eval(b)) {
+			t.Fatalf("metric %v Better/Eval inconsistent", m)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Report{D: 10, E: 50}.String()
+	if s == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestLeakageEnergy(t *testing.T) {
+	if got := LeakageEnergy(0.5, 100, 8); got != 400 {
+		t.Fatalf("leakage %g, want 400", got)
+	}
+	if LeakageEnergy(0, 100, 8) != 0 {
+		t.Fatal("perfect gating should add nothing")
+	}
+}
+
+func TestWithLeakage(t *testing.T) {
+	r := Report{D: 100, E: 50}
+	lr := r.WithLeakage(0.25, 4)
+	if lr.E != 150 || lr.D != 100 {
+		t.Fatalf("leaky report %+v", lr)
+	}
+	if r.E != 50 {
+		t.Fatal("WithLeakage mutated the receiver")
+	}
+	// Leakage can flip a PDP decision: fast-wide vs slow-narrow.
+	wide := Report{D: 10, E: 40}   // 8 threads
+	narrow := Report{D: 40, E: 50} // 1 thread
+	if !MetricPDP.Better(wide, narrow) {
+		t.Fatal("gated: wide should win PDP")
+	}
+	ww := wide.WithLeakage(2, 8)   // +160
+	nn := narrow.WithLeakage(2, 1) // +80
+	if !MetricPDP.Better(nn, ww) {
+		t.Fatal("leaky: narrow should win PDP")
+	}
+}
+
+func TestEnergyScaledAffectsOnlyCompute(t *testing.T) {
+	c := Counters{FpOps: 10, IntOps: 5, ReadsInter: 3, SendsIntra: 2}
+	tab := costs()
+	base := Energy(c, tab)
+	scaled := EnergyScaled(c, tab, 4)
+	computePart := 10*tab.WFp + 5*tab.WInt
+	if want := base + 3*computePart; scaled != want {
+		t.Fatalf("scaled energy %g, want %g", scaled, want)
+	}
+}
+
+func TestMetricEvalAll(t *testing.T) {
+	r := Report{D: 4, E: 8}
+	wants := map[Metric]float64{
+		MetricD: 4, MetricPDP: 8, MetricEDP: 32, MetricED2P: 128,
+	}
+	for m, w := range wants {
+		if got := m.Eval(r); got != w {
+			t.Fatalf("%v eval %g, want %g", m, got, w)
+		}
+	}
+}
+
+func TestUnknownMetricStringAndPanic(t *testing.T) {
+	bad := Metric(99)
+	if bad.String() == "" {
+		t.Fatal("empty string for unknown metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval of unknown metric did not panic")
+		}
+	}()
+	bad.Eval(Report{D: 1, E: 1})
+}
+
+func TestCountersSubFromRoundTrip(t *testing.T) {
+	a := Counters{FpOps: 10, IntOps: 20, ReadsIntra: 3, WritesInter: 4,
+		SendsInter: 5, RecvsIntra: 6, TxCommits: 7, TxAborts: 8, QueueWait: 9}
+	b := a
+	b.Add(a)     // b = 2a
+	b.SubFrom(a) // back to a
+	if b != a {
+		t.Fatalf("Add/SubFrom not inverse: %+v vs %+v", b, a)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/airline"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("airline", "§4 airline: partial-commit decision vs strict atomicity as seats fill", runAirline)
+}
+
+func runAirline() Result {
+	t := newTable()
+	t.row("seats/leg", "policy", "success", "partial", "failed", "legs committed", "success rate")
+	var checks []Check
+
+	type obs struct {
+		seats   int64
+		legsP   int64 // partial policy
+		legsS   int64 // strict policy
+		succP   int
+		succS   int
+		partial int
+	}
+	var series []obs
+	for _, seats := range []int64{1, 2, 4, 8, 32} {
+		wl := workload.NewAirline(6, seats, 120, 31)
+		var o obs
+		o.seats = seats
+		for _, pol := range []airline.Policy{airline.Partial, airline.Strict} {
+			sys := core.NewSystem(machine.Niagara())
+			res, err := airline.Run(sys, wl, 8, pol)
+			if err != nil {
+				panic(err)
+			}
+			t.row(seats, pol,
+				res.Outcomes[airline.Success], res.Outcomes[airline.PartialSuccess],
+				res.Outcomes[airline.Failed], res.LegsCommitted,
+				fmt.Sprintf("%.3f", res.SuccessRate()))
+			if pol == airline.Partial {
+				o.legsP = res.LegsCommitted
+				o.succP = res.Outcomes[airline.Success]
+				o.partial = res.Outcomes[airline.PartialSuccess]
+			} else {
+				o.legsS = res.LegsCommitted
+				o.succS = res.Outcomes[airline.Success]
+			}
+		}
+		series = append(series, o)
+	}
+
+	// Shape: under scarcity (few seats) the partial policy books more
+	// legs than strict; with abundant seats the two coincide.
+	scarce, abundant := series[0], series[len(series)-1]
+	checks = append(checks,
+		check("scarce seats: partial books more legs than strict",
+			scarce.legsP > scarce.legsS, "partial=%d strict=%d", scarce.legsP, scarce.legsS),
+		check("scarce seats: partial successes appear", scarce.partial > 0,
+			"partials=%d", scarce.partial),
+		check("abundant seats: both policies complete everything",
+			abundant.succP == 120 && abundant.succS == 120,
+			"partial=%d strict=%d", abundant.succP, abundant.succS),
+		check("seat conservation enforced on every cell (in-run)", true, ""))
+
+	return Result{ID: "airline", Title: Title("airline"), Table: t.String(), Checks: checks}
+}

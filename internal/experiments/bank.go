@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/bank"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("bank", "§4 banking: nested-transaction transfers — throughput and abort rate vs contention", runBank)
+}
+
+func bankRun(accounts int, hot float64, workers int, mgr stm.ContentionManager) (bank.RunResult, error) {
+	wl := workload.NewBank(accounts, 96, 1000, hot, int64(accounts)*7+int64(hot*100))
+	sys := core.NewSystem(machine.Niagara(), core.WithContentionManager(mgr))
+	return bank.Run(sys, wl, workers, nil)
+}
+
+func runBank() Result {
+	t := newTable()
+	t.row("accounts", "hot", "workers", "succeeded", "declined", "abort rate", "throughput", "T")
+	var checks []Check
+
+	type obs struct {
+		accounts int
+		hot      float64
+		aborts   float64
+		thr      float64
+	}
+	var series []obs
+	for _, accounts := range []int{16, 64, 256, 1024} {
+		for _, hot := range []float64{0, 0.5, 0.9} {
+			res, err := bankRun(accounts, hot, 16, stm.Timestamp{})
+			if err != nil {
+				panic(err)
+			}
+			rep := res.Report()
+			t.row(accounts, hot, 16, res.Succeeded, res.Declined,
+				fmt.Sprintf("%.3f", res.TM.AbortRate()),
+				fmt.Sprintf("%.3f", res.Throughput()), rep.T())
+			series = append(series, obs{accounts, hot, res.TM.AbortRate(), res.Throughput()})
+		}
+	}
+
+	// Shape checks the paper's transactional story implies: hotter
+	// workloads abort more; more accounts (less contention) abort less.
+	var coldBig, hotBig obs
+	for _, o := range series {
+		if o.accounts == 1024 && o.hot == 0 {
+			coldBig = o
+		}
+		if o.accounts == 1024 && o.hot == 0.9 {
+			hotBig = o
+		}
+	}
+	checks = append(checks,
+		check("hot-spot raises abort rate (1024 accounts)", hotBig.aborts > coldBig.aborts,
+			"hot=%.3f cold=%.3f", hotBig.aborts, coldBig.aborts),
+		check("uniform big bank aborts are rare", coldBig.aborts < 0.15, "rate=%.3f", coldBig.aborts))
+
+	// Money conservation is enforced inside bank.Run; surface it.
+	checks = append(checks, check("Σ balances conserved on every cell (enforced in-run)", true, ""))
+
+	// Scaling: more workers reduce completion time on a low-contention
+	// workload.
+	var tOf = func(workers int) float64 {
+		wl := workload.NewBank(512, 128, 1000, 0, 3)
+		sys := core.NewSystem(machine.Niagara(), core.WithContentionManager(stm.Timestamp{}))
+		res, err := bank.Run(sys, wl, workers, nil)
+		if err != nil {
+			panic(err)
+		}
+		return float64(res.Report().T())
+	}
+	t1, t4, t16 := tOf(1), tOf(4), tOf(16)
+	t.row("")
+	t.row("workers", "T (512 accounts, uniform)")
+	t.row(1, fmt.Sprintf("%.0f", t1))
+	t.row(4, fmt.Sprintf("%.0f", t4))
+	t.row(16, fmt.Sprintf("%.0f", t16))
+	checks = append(checks, check("throughput scales with workers (T1 > T4 > T16)",
+		t1 > t4 && t4 > t16, "T=%v/%v/%v", t1, t4, t16))
+
+	return Result{ID: "bank", Title: Title("bank"), Table: t.String(), Checks: checks}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/machine"
+)
+
+func init() {
+	register("dvfs", "§2.1 power argument: 1 core @ f vs 8 cores @ f/2 under D/PDP/EDP/ED²P", runDVFS)
+}
+
+// dvfsKernel runs a perfectly data-parallel integer workload of
+// totalOps operations split across procs processes on cfg.
+func dvfsKernel(cfg machine.Config, procs int, totalOps int64) energy.Report {
+	sys := core.NewSystem(cfg)
+	attrs := core.Attrs{Dist: core.InterProc, Exec: core.AsyncExec, Comm: core.AsyncComm}
+	per := totalOps / int64(procs)
+	g := sys.NewGroup("dvfs", attrs, procs, func(ctx *core.Ctx) {
+		ctx.IntOps(per)
+	})
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	rep := g.Report()
+	return energy.Report{D: rep.T(), E: rep.E()}
+}
+
+func runDVFS() Result {
+	const totalOps = 16384
+	base := machine.Niagara()
+
+	// 1 core at full frequency: one process on an unscaled machine.
+	oneFast := dvfsKernel(base, 1, totalOps)
+	// 8 cores at half frequency: eight processes (one per core) on a
+	// half-clocked machine — per §2.1 both configurations dissipate
+	// the same dynamic power (8 × (f/2)³ = f³).
+	half := base.AtFrequency(0.5)
+	eightSlow := dvfsKernel(half, 8, totalOps)
+
+	t := newTable()
+	t.row("config", "D", "E", "P", "PDP", "EDP", "ED2P")
+	for _, row := range []struct {
+		name string
+		r    energy.Report
+	}{{"1 core @ f", oneFast}, {"8 cores @ f/2", eightSlow}} {
+		t.row(row.name, row.r.D, fmt.Sprintf("%.0f", row.r.E),
+			fmt.Sprintf("%.3f", row.r.Power()), fmt.Sprintf("%.0f", row.r.PDP()),
+			fmt.Sprintf("%.3g", row.r.EDP()), fmt.Sprintf("%.3g", row.r.ED2P()))
+	}
+
+	speedup := float64(oneFast.D) / float64(eightSlow.D)
+	powerRatio := eightSlow.Power() / oneFast.Power()
+	t.row("")
+	t.row("speedup (8@f/2 vs 1@f)", fmt.Sprintf("%.2f", speedup))
+	t.row("power ratio", fmt.Sprintf("%.3f", powerRatio))
+
+	checks := []Check{
+		// The paper: "1 processor core clocked at frequency f consumes
+		// the same dynamic power as 8 cores, each clocked at f/2."
+		check("equal power within 5%", math.Abs(powerRatio-1) < 0.05, "ratio=%.3f", powerRatio),
+		// "if we can get a speedup of more than 2 with the 8 cores, we
+		// will get a better performance with the same power" — the
+		// embarrassingly parallel kernel achieves speedup 4 (8 cores ×
+		// half speed).
+		check("speedup exceeds 2", speedup > 2, "speedup=%.2f", speedup),
+		check("D prefers 8 cores @ f/2", energy.MetricD.Better(eightSlow, oneFast), ""),
+		check("EDP prefers 8 cores @ f/2", energy.MetricEDP.Better(eightSlow, oneFast), ""),
+		check("ED2P prefers 8 cores @ f/2", energy.MetricED2P.Better(eightSlow, oneFast), ""),
+		// Energy: half-frequency ops cost f² less energy each, so the
+		// parallel config also wins PDP (=E).
+		check("PDP prefers 8 cores @ f/2", energy.MetricPDP.Better(eightSlow, oneFast), ""),
+	}
+
+	return Result{ID: "dvfs", Title: Title("dvfs"), Table: t.String(), Checks: checks}
+}

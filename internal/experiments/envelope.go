@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/jacobi"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("envelope", "§4 power envelope: Jacobi thread allocation under 3(x+y)·w_int", runEnvelope)
+}
+
+func runEnvelope() Result {
+	cfg := machine.Niagara()
+	cm := cfg.Costs
+	j := cost.Jacobi{N: 16, X: cm.WFp / cm.WInt, Y: cm.WSend / cm.WInt, WInt: cm.WInt}
+	unit := (j.X + j.Y) * j.WInt // (x+y)·w_int
+
+	t := newTable()
+	t.row("envelope", "model cap/core", "alloc cap/core", "feasible(n=4,intra)", "cores used")
+	var checks []Check
+
+	for mult := 1; mult <= 6; mult++ {
+		env := float64(mult) * unit
+		modelCap := j.MaxThreadsUnderEnvelope(env)
+		if modelCap > cfg.ThreadsPerCore {
+			modelCap = cfg.ThreadsPerCore
+		}
+		job := sched.Job{Name: "jacobi", N: 4, PowerPerProc: j.PowerBound(), Dist: core.IntraProc}
+		d := sched.Allocate(cfg, job, env)
+		t.row(fmt.Sprintf("%.0f (=%d·(x+y)w)", env, mult), modelCap, d.ThreadsPerCoreCap, d.Feasible, d.CoresUsed)
+		checks = append(checks, check(
+			fmt.Sprintf("envelope %d(x+y)w: allocator cap matches model", mult),
+			d.ThreadsPerCoreCap == modelCap, "alloc=%d model=%d", d.ThreadsPerCoreCap, modelCap))
+	}
+
+	// The paper's decision: under 3(x+y)·w_int, at most 3 of the 4
+	// hardware threads per processor may run Jacobi.
+	env := j.PaperEnvelope()
+	capAt3 := sched.CapPerCore(cfg, j.PowerBound(), env)
+	checks = append(checks, check("paper envelope 3(x+y)w permits exactly 3 threads/core",
+		capAt3 == 3, "cap=%d", capAt3))
+
+	// Validate against measurement: run 3 Jacobi processes packed on
+	// one core and confirm the measured core power stays within the
+	// envelope, while 4 packed processes would exceed it.
+	measure := func(procs int) float64 {
+		ls := workload.NewLinearSystem(procs, 77)
+		sys := core.NewSystem(cfg)
+		pl := make(core.Placement, procs)
+		for i := range pl {
+			pl[i] = machine.ThreadID(i) // all on core 0
+		}
+		res, err := jacobi.Run(sys, jacobi.Config{System: ls, Iters: 6, Placement: pl})
+		if err != nil {
+			panic(err)
+		}
+		rep := res.Report()
+		return rep.PowerPerCore(cfg, cfg.Costs)[0]
+	}
+	p3, p4 := measure(3), measure(4)
+	t.row("")
+	t.row("packed procs on core 0", "measured core power", "envelope")
+	t.row(3, fmt.Sprintf("%.3f", p3), fmt.Sprintf("%.0f", env))
+	t.row(4, fmt.Sprintf("%.3f", p4), fmt.Sprintf("%.0f", env))
+	checks = append(checks,
+		check("3 packed Jacobi procs stay within the paper envelope", p3 <= env+1e-9,
+			"P=%.3f env=%.0f", p3, env),
+		check("4 packed procs dissipate more than 3", p4 > p3, "P4=%.3f P3=%.3f", p4, p3))
+
+	// Choose() responds to the envelope: a tight envelope pushes the
+	// job inter_proc, a loose one keeps it intra_proc.
+	tight := sched.Choose(cfg, sched.Job{Name: "jacobi", N: 4, PowerPerProc: j.PowerBound()}, env)
+	loose := sched.Choose(cfg, sched.Job{Name: "jacobi", N: 4, PowerPerProc: j.PowerBound()}, 2*env)
+	t.row("")
+	t.row("envelope", "chosen distribution", "cores")
+	t.row(fmt.Sprintf("%.0f", env), tight.Job.Dist, tight.CoresUsed)
+	t.row(fmt.Sprintf("%.0f", 2*env), loose.Job.Dist, loose.CoresUsed)
+	checks = append(checks,
+		check("tight envelope forces inter_proc spreading", tight.Job.Dist == core.InterProc, "%v", tight.Job.Dist),
+		check("loose envelope keeps intra_proc packing", loose.Job.Dist == core.IntraProc && loose.CoresUsed == 1, "%v cores=%d", loose.Job.Dist, loose.CoresUsed))
+
+	return Result{ID: "envelope", Title: Title("envelope"), Table: t.String(), Checks: checks}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"adaptive", "airline", "apsp", "bandwidth", "bank", "distribution",
+		"dvfs", "envelope", "fabric", "fig1", "gating", "jacobi", "kappa", "kernels", "managers",
+		"models", "optimizer", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentPasses runs the whole harness: every experiment
+// must render a table and every claim check must pass. This is the
+// repository's top-level reproduction gate.
+func TestEveryExperimentPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Table == "" {
+				t.Fatal("empty table")
+			}
+			if len(res.Checks) == 0 {
+				t.Fatal("no claim checks")
+			}
+			for _, c := range res.Checks {
+				if !c.Pass {
+					t.Errorf("check failed: %s (%s)", c.Name, c.Note)
+				}
+			}
+			if !strings.Contains(res.String(), res.ID) {
+				t.Error("rendered block missing id")
+			}
+		})
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	a, _ := Run("table1")
+	b, _ := Run("table1")
+	if a.Table != b.Table {
+		t.Fatal("table1 output not deterministic across runs")
+	}
+}

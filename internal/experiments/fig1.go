@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/memory"
+)
+
+func init() {
+	register("fig1", "Figure 1: Niagara multiprocessor chip (topology + 32-thread occupancy)", runFig1)
+}
+
+// fig1Kernel runs one saxpy-like process per hardware thread: stream
+// reads/writes against core-local (L1, intra) or chip-level (L2,
+// inter) shared memory plus floating-point work.
+func fig1Kernel(scope memory.Scope) (core.GroupReport, machine.Config) {
+	cfg := machine.Niagara()
+	sys := core.NewSystem(cfg)
+	n := cfg.NumThreads()
+
+	// One region per core for the intra case; a single chip-level
+	// region otherwise.
+	regions := make([]*memory.Region[float64], cfg.NumCores())
+	for c := range regions {
+		name := fmt.Sprintf("fig1/core%d", c)
+		if scope == memory.Intra {
+			regions[c] = memory.NewRegion[float64](sys.Mem, name, memory.Intra, c, 64)
+		} else {
+			regions[c] = memory.NewRegion[float64](sys.Mem, name, memory.Inter, 0, 64)
+		}
+	}
+
+	attrs := core.Attrs{Dist: core.IntraProc, Exec: core.AsyncExec, Comm: core.AsyncComm}
+	g := sys.NewGroup("saxpy", attrs, n, func(ctx *core.Ctx) {
+		coreIdx := cfg.CoreOf(ctx.Thread())
+		r := regions[coreIdx]
+		lane := int(ctx.Thread()) % cfg.ThreadsPerCore
+		for i := 0; i < 16; i++ {
+			idx := lane*16 + i
+			x := r.Read(ctx, idx)
+			ctx.FpOps(2) // a*x + y
+			r.Write(ctx, idx, 2*x+1)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		panic(fmt.Sprintf("fig1: %v", err))
+	}
+	return g.Report(), cfg
+}
+
+func runFig1() Result {
+	cfg := machine.Niagara()
+	t := newTable()
+
+	intraRep, _ := fig1Kernel(memory.Intra)
+	interRep, _ := fig1Kernel(memory.Inter)
+
+	t.row("placement", "threads", "T", "E", "P")
+	t.row("L1-local (intra)", intraRep.N, intraRep.T(), fmt.Sprintf("%.0f", intraRep.E()), fmt.Sprintf("%.3f", intraRep.Power()))
+	t.row("L2-shared (inter)", interRep.N, interRep.T(), fmt.Sprintf("%.0f", interRep.E()), fmt.Sprintf("%.3f", interRep.Power()))
+
+	// Per-core power of the fully occupied chip.
+	pc := intraRep.PowerPerCore(cfg, cfg.Costs)
+	t.row("")
+	t.row("core", "power (intra run)")
+	for c := 0; c < cfg.NumCores(); c++ {
+		t.row(c, fmt.Sprintf("%.3f", pc[c]))
+	}
+
+	checks := []Check{
+		check("niagara topology is 8 cores × 4 threads",
+			cfg.NumCores() == 8 && cfg.NumThreads() == 32,
+			"cores=%d threads=%d", cfg.NumCores(), cfg.NumThreads()),
+		check("all 32 hardware threads occupied",
+			len(intraRep.PerProc) == 32, "procs=%d", len(intraRep.PerProc)),
+		check("core-local streams beat chip-shared streams (ℓ_a < ℓ_e)",
+			intraRep.T() < interRep.T(),
+			"intra T=%d inter T=%d", intraRep.T(), interRep.T()),
+		check("intra run counts only intra accesses",
+			intraRep.Ops.ReadsInter == 0 && intraRep.Ops.WritesInter == 0,
+			"inter reads=%d writes=%d", intraRep.Ops.ReadsInter, intraRep.Ops.WritesInter),
+	}
+
+	return Result{
+		ID:     "fig1",
+		Title:  Title("fig1"),
+		Table:  cfg.Describe() + "\n" + t.String(),
+		Checks: checks,
+	}
+}

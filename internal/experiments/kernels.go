@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/apps/kernels"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/machine"
+)
+
+func init() {
+	register("kernels", "framework generality: reduce/scan/sort/matmul as STAMP programs with model-predicted crossovers", runKernels)
+}
+
+func runKernels() Result {
+	t := newTable()
+	var checks []Check
+	rng := rand.New(rand.NewSource(77))
+
+	// 1. Tree reduction: p sweep on small and large inputs — the
+	// crossover between communication- and compute-dominated regimes.
+	t.row("reduce input", "p", "rounds", "T", "E")
+	type tr struct {
+		n, p int
+		tt   float64
+	}
+	var rows []tr
+	for _, n := range []int{64, 1024} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		want := kernels.SequentialSum(vals)
+		for _, p := range []int{2, 4, 16} {
+			sys := core.NewSystem(machine.Niagara())
+			res, err := kernels.Reduce(sys, vals, p)
+			if err != nil {
+				panic(err)
+			}
+			if math.Abs(res.Sum-want) > 1e-6 {
+				panic("reduce wrong")
+			}
+			rep := res.Group.Report()
+			t.row(n, p, res.Rounds, rep.T(), fmt.Sprintf("%.0f", rep.E()))
+			rows = append(rows, tr{n, p, float64(rep.T())})
+		}
+	}
+	at := func(n, p int) float64 {
+		for _, r := range rows {
+			if r.n == n && r.p == p {
+				return r.tt
+			}
+		}
+		return -1
+	}
+	checks = append(checks,
+		check("small input: narrow tree wins (comm-dominated)", at(64, 4) < at(64, 16),
+			"T4=%.0f T16=%.0f", at(64, 4), at(64, 16)),
+		check("large input: wide tree wins (compute-dominated)", at(1024, 16) < at(1024, 4),
+			"T16=%.0f T4=%.0f", at(1024, 16), at(1024, 4)))
+
+	// Model prediction of the tree phase (block = 1).
+	cm := cost.FromCostTable(machine.Niagara().Costs)
+	sys := core.NewSystem(machine.Niagara())
+	vals8 := make([]float64, 8)
+	for i := range vals8 {
+		vals8[i] = rng.Float64()
+	}
+	r8, err := kernels.Reduce(sys, vals8, 8)
+	if err != nil {
+		panic(err)
+	}
+	pred := kernels.ReduceModel(8, cm).T(cm)
+	meas := float64(r8.CriticalPathT())
+	t.row("")
+	t.row("reduce p=8 tree phase", "measured T", "predicted T")
+	t.row("", fmt.Sprintf("%.0f", meas), fmt.Sprintf("%.0f", pred))
+	checks = append(checks, check("reduce model within 2.5× band of measurement",
+		meas > pred*0.4 && meas < pred*2.5, "meas=%.0f pred=%.0f", meas, pred))
+
+	// 2. Scan, sort, matmul: correctness on the simulator (baselines).
+	scanSys := core.NewSystem(machine.Niagara())
+	scanRes, err := kernels.Scan(scanSys, vals8)
+	if err != nil {
+		panic(err)
+	}
+	scanOK := true
+	for i, v := range kernels.SequentialScan(vals8) {
+		if math.Abs(scanRes.Prefix[i]-v) > 1e-9 {
+			scanOK = false
+		}
+	}
+
+	ints := make([]int64, 12)
+	for i := range ints {
+		ints[i] = rng.Int63n(100)
+	}
+	sortSys := core.NewSystem(machine.Niagara())
+	sortRes, err := kernels.OddEvenSort(sortSys, ints)
+	if err != nil {
+		panic(err)
+	}
+
+	a := [][]float64{{1, 2}, {3, 4}}
+	b := [][]float64{{5, 6}, {7, 8}}
+	mmSys := core.NewSystem(machine.Niagara())
+	mm, err := kernels.MatMul(mmSys, a, b, 2)
+	if err != nil {
+		panic(err)
+	}
+	mmWant := kernels.SequentialMatMul(a, b)
+	mmOK := true
+	for i := range mmWant {
+		for j := range mmWant[i] {
+			if math.Abs(mm.C[i][j]-mmWant[i][j]) > 1e-9 {
+				mmOK = false
+			}
+		}
+	}
+
+	t.row("")
+	t.row("kernel", "attrs", "rounds", "T", "correct")
+	t.row("scan n=8", kernels.ScanAttrs, scanRes.Rounds, scanRes.Group.Report().T(), scanOK)
+	t.row("odd-even sort n=12", kernels.SortAttrs, sortRes.Rounds, sortRes.Group.Report().T(), kernels.IsSorted(sortRes.Sorted))
+	t.row("matmul 2×2 p=2", kernels.MatMulAttrs, 1, mm.Group.Report().T(), mmOK)
+
+	checks = append(checks,
+		check("scan equals sequential prefix", scanOK, ""),
+		check("odd-even sort equals sequential sort", kernels.IsSorted(sortRes.Sorted), ""),
+		check("matmul equals sequential product", mmOK, ""))
+
+	return Result{ID: "kernels", Title: Title("kernels"), Table: t.String(), Checks: checks}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/sim"
+)
+
+func init() {
+	register("optimizer", "§5 future work: metric-driven configuration choice from the complexity estimates, validated in simulation", runOptimizer)
+}
+
+// optimizerWorkload is a compute-heavy iterative kernel with ring
+// communication.
+func optimizerWorkload() opt.Workload {
+	return opt.Workload{
+		Name:        "stencil",
+		TotalFp:     4096,
+		TotalInt:    512,
+		MsgsPerProc: opt.Ring,
+		Iterations:  3,
+	}
+}
+
+// simulate runs the same workload shape on the simulator with the given
+// configuration and returns measured (T, E).
+func simulate(cfg machine.Config, w opt.Workload, c opt.Config) (sim.Time, float64) {
+	mach := cfg
+	if c.Freq != 1 {
+		mach = cfg.AtFrequency(c.Freq)
+	}
+	sys := core.NewSystem(mach)
+	attrs := core.Attrs{Dist: c.Dist, Exec: core.AsyncExec, Comm: core.AsyncComm}
+	fpPer := w.TotalFp / int64(c.P)
+	intPer := w.TotalInt / int64(c.P)
+	g := sys.NewGroup("opt", attrs, c.P, func(ctx *core.Ctx) {
+		right := (ctx.Index() + 1) % ctx.GroupSize()
+		for it := 0; it < w.Iterations; it++ {
+			ctx.SRound(func() {
+				ctx.FpOps(fpPer)
+				ctx.IntOps(intPer)
+				if w.MsgsPerProc != nil && ctx.GroupSize() > 1 {
+					for m := 0; m < w.MsgsPerProc(ctx.GroupSize()); m++ {
+						ctx.SendTo(right, m)
+					}
+					for m := 0; m < w.MsgsPerProc(ctx.GroupSize()); m++ {
+						ctx.Recv()
+					}
+				}
+			})
+		}
+	})
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	rep := g.Report()
+	return rep.T(), rep.E()
+}
+
+func runOptimizer() Result {
+	cfg := machine.Niagara()
+	w := optimizerWorkload()
+	freqs := []float64{0.5, 1}
+
+	t := newTable()
+	t.row("metric", "chosen config", "pred T", "pred E", "pred P/core")
+	var checks []Check
+	chosen := map[energy.Metric]opt.Eval{}
+	for _, m := range []energy.Metric{energy.MetricD, energy.MetricPDP, energy.MetricEDP, energy.MetricED2P} {
+		best, _ := opt.Optimize(cfg, w, m, 0, freqs)
+		chosen[m] = best
+		t.row(m, best.Cfg, fmt.Sprintf("%.0f", best.T),
+			fmt.Sprintf("%.0f", best.E), fmt.Sprintf("%.3f", best.PerCore))
+	}
+
+	checks = append(checks,
+		check("D-optimal runs at full frequency", chosen[energy.MetricD].Cfg.Freq == 1,
+			"f=%g", chosen[energy.MetricD].Cfg.Freq),
+		check("PDP-optimal runs at reduced frequency", chosen[energy.MetricPDP].Cfg.Freq == 0.5,
+			"f=%g", chosen[energy.MetricPDP].Cfg.Freq),
+		check("metrics select different configurations (the paper's premise)",
+			chosen[energy.MetricD].Cfg != chosen[energy.MetricPDP].Cfg,
+			"D→%v PDP→%v", chosen[energy.MetricD].Cfg, chosen[energy.MetricPDP].Cfg))
+
+	// Envelope sensitivity: tightening the envelope changes the pick
+	// and the pick respects it.
+	free, _ := opt.Optimize(cfg, w, energy.MetricD, 0, freqs)
+	tight, _ := opt.Optimize(cfg, w, energy.MetricD, free.PerCore/2, freqs)
+	t.row("")
+	t.row("envelope", "D-optimal config", "pred P/core")
+	t.row("unlimited", free.Cfg, fmt.Sprintf("%.3f", free.PerCore))
+	t.row(fmt.Sprintf("%.3f", free.PerCore/2), tight.Cfg, fmt.Sprintf("%.3f", tight.PerCore))
+	checks = append(checks, check("tight envelope respected by the optimizer",
+		tight.Feasible && tight.PerCore <= free.PerCore/2+1e-9,
+		"P=%.3f cap=%.3f", tight.PerCore, free.PerCore/2))
+
+	// Validation: simulate the D-optimal pick and a deliberately bad
+	// configuration; the model's ranking must hold in measurement.
+	bad := opt.Config{P: 2, Dist: core.InterProc, Freq: 0.5}
+	goodT, goodE := simulate(cfg, w, chosen[energy.MetricD].Cfg)
+	badT, badE := simulate(cfg, w, bad)
+	t.row("")
+	t.row("config", "measured T", "measured E")
+	t.row(chosen[energy.MetricD].Cfg, goodT, fmt.Sprintf("%.0f", goodE))
+	t.row(bad, badT, fmt.Sprintf("%.0f", badE))
+	checks = append(checks, check("model's D ranking confirmed by simulation",
+		goodT < badT, "good=%d bad=%d", goodT, badT))
+
+	return Result{ID: "optimizer", Title: Title("optimizer"), Table: t.String(), Checks: checks}
+}

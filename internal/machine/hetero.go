@@ -1,0 +1,77 @@
+package machine
+
+import "fmt"
+
+// Heterogeneity support: the paper motivates models "general enough to
+// embrace new emerging paradigms such as adaptive and heterogeneous
+// computations" (§1) and notes that asynchronous STAMP algorithms can
+// run "even when the processors' available power and processing speeds
+// vary" (§4). CoreFreq gives each processor its own clock multiplier:
+// local operations on a core with multiplier s run s× faster and cost
+// s² more energy each (the same f³ power law AtFrequency implements
+// globally).
+
+// WithCoreFreq returns a copy of the config with per-core frequency
+// multipliers. freq must have NumCores entries, all positive.
+func (c Config) WithCoreFreq(freq []float64) Config {
+	if len(freq) != c.NumCores() {
+		panic(fmt.Sprintf("machine: CoreFreq needs %d entries, got %d", c.NumCores(), len(freq)))
+	}
+	for i, f := range freq {
+		if f <= 0 {
+			panic(fmt.Sprintf("machine: CoreFreq[%d] = %g must be positive", i, f))
+		}
+	}
+	s := c
+	s.CoreFreq = append([]float64(nil), freq...)
+	return s
+}
+
+// BigLittle returns a heterogeneous single-chip machine in the
+// big.LITTLE style: nBig fast cores at bigMult and the rest at
+// littleMult, with Niagara-like threading.
+func BigLittle(nBig int, bigMult, littleMult float64) Config {
+	cfg := Niagara()
+	cfg.Name = fmt.Sprintf("biglittle-%dx%g+%dx%g", nBig, bigMult, cfg.CoresPerChip-nBig, littleMult)
+	freq := make([]float64, cfg.NumCores())
+	for i := range freq {
+		if i < nBig {
+			freq[i] = bigMult
+		} else {
+			freq[i] = littleMult
+		}
+	}
+	return cfg.WithCoreFreq(freq)
+}
+
+// CoreMult returns the frequency multiplier of a core (1 when the
+// machine is homogeneous).
+func (c Config) CoreMult(core int) float64 {
+	if c.CoreFreq == nil {
+		return 1
+	}
+	return c.CoreFreq[core]
+}
+
+// Homogeneous reports whether all cores share the nominal clock.
+func (c Config) Homogeneous() bool {
+	for _, f := range c.CoreFreq {
+		if f != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeTime returns the virtual time of n local operations of base
+// per-op latency t on the given core.
+func (c Config) ComputeTime(core int, n int64, t float64) float64 {
+	return float64(n) * t / c.CoreMult(core)
+}
+
+// ComputeEnergyScale returns the per-op energy multiplier of a core
+// (mult², per the dynamic power law).
+func (c Config) ComputeEnergyScale(core int) float64 {
+	m := c.CoreMult(core)
+	return m * m
+}

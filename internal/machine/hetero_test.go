@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithCoreFreqValidates(t *testing.T) {
+	cfg := Niagara()
+	freq := make([]float64, 8)
+	for i := range freq {
+		freq[i] = 1
+	}
+	freq[0] = 2
+	h := cfg.WithCoreFreq(freq)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.CoreMult(0) != 2 || h.CoreMult(1) != 1 {
+		t.Fatalf("core mults: %g %g", h.CoreMult(0), h.CoreMult(1))
+	}
+	if h.Homogeneous() {
+		t.Fatal("heterogeneous machine reported homogeneous")
+	}
+	if !cfg.Homogeneous() {
+		t.Fatal("default machine reported heterogeneous")
+	}
+}
+
+func TestWithCoreFreqCopies(t *testing.T) {
+	freq := make([]float64, 8)
+	for i := range freq {
+		freq[i] = 1
+	}
+	h := Niagara().WithCoreFreq(freq)
+	freq[3] = 99
+	if h.CoreFreq[3] == 99 {
+		t.Fatal("WithCoreFreq aliases the caller's slice")
+	}
+}
+
+func TestWithCoreFreqPanics(t *testing.T) {
+	cases := []func(){
+		func() { Niagara().WithCoreFreq([]float64{1, 2}) },
+		func() { Niagara().WithCoreFreq(make([]float64, 8)) }, // zeros
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateRejectsBadCoreFreq(t *testing.T) {
+	cfg := Niagara()
+	cfg.CoreFreq = []float64{1, 1} // wrong length
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("short CoreFreq validated")
+	}
+	cfg.CoreFreq = make([]float64, 8) // zeros
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero CoreFreq validated")
+	}
+}
+
+func TestBigLittlePreset(t *testing.T) {
+	cfg := BigLittle(2, 2, 0.5)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CoreMult(0) != 2 || cfg.CoreMult(1) != 2 {
+		t.Fatal("big cores wrong")
+	}
+	for c := 2; c < 8; c++ {
+		if cfg.CoreMult(c) != 0.5 {
+			t.Fatalf("little core %d mult %g", c, cfg.CoreMult(c))
+		}
+	}
+	if !strings.Contains(cfg.Name, "biglittle") {
+		t.Fatalf("name %q", cfg.Name)
+	}
+}
+
+func TestComputeTimeAndEnergyScale(t *testing.T) {
+	cfg := BigLittle(1, 2, 0.5)
+	// 100 ops of latency 1 on the 2× core: 50 ticks; on a 0.5× core:
+	// 200 ticks.
+	if got := cfg.ComputeTime(0, 100, 1); got != 50 {
+		t.Fatalf("big compute time %g", got)
+	}
+	if got := cfg.ComputeTime(5, 100, 1); got != 200 {
+		t.Fatalf("little compute time %g", got)
+	}
+	// Energy per op: mult².
+	if cfg.ComputeEnergyScale(0) != 4 || cfg.ComputeEnergyScale(5) != 0.25 {
+		t.Fatalf("energy scales %g %g", cfg.ComputeEnergyScale(0), cfg.ComputeEnergyScale(5))
+	}
+	// f³ power law per core: (E·mult²)/(T/mult) = base · mult³.
+	basePower := 1.0
+	bigPower := (100.0 * cfg.ComputeEnergyScale(0)) / cfg.ComputeTime(0, 100, 1)
+	if bigPower != basePower*8 {
+		t.Fatalf("big core power %g, want 8 (2³)", bigPower)
+	}
+}

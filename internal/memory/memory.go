@@ -1,0 +1,252 @@
+// Package memory implements the STAMP shared-memory substrate: queued
+// (serialized) access to shared locations with the paper's intra-/
+// inter-processor latency (ℓ_a, ℓ_e) and bandwidth (g_sh_a, g_sh_e)
+// parameters. Its queuing discipline follows the QSM heritage the paper
+// cites: concurrent accesses to one location are serviced sequentially,
+// and the time spent queued is recorded as the measured counterpart of
+// the model's κ term.
+package memory
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Agent is the accessing process as the memory system sees it. The
+// STAMP core's execution context implements it.
+type Agent interface {
+	// Proc returns the simulated process performing the access.
+	Proc() *sim.Proc
+	// Thread returns the hardware thread the process is bound to.
+	Thread() machine.ThreadID
+	// Counters returns the process's operation counters.
+	Counters() *energy.Counters
+	// HoldCost charges virtual time, accumulating fractional ticks
+	// deterministically.
+	HoldCost(ticks float64)
+}
+
+// Scope says which level of the memory hierarchy backs a region, which
+// determines both latency class and operation counting.
+type Scope int
+
+const (
+	// Intra regions live in processor-local shared storage (the L1 in
+	// the paper's example): accesses from threads of the home core are
+	// intra-processor (ℓ_a); accesses from elsewhere fall back to
+	// inter-processor cost (ℓ_e).
+	Intra Scope = iota
+	// Inter regions live in chip-level shared storage (the L2):
+	// every access is inter-processor (ℓ_e).
+	Inter
+)
+
+// String returns "intra" or "inter".
+func (s Scope) String() string {
+	if s == Intra {
+		return "intra"
+	}
+	return "inter"
+}
+
+// Memory is the shared-memory subsystem of one simulated machine.
+type Memory struct {
+	m *machine.Machine
+	// ServiceTime is how long one location stays busy per access; it
+	// is the unit in which queuing (κ) accumulates. Default 1 tick.
+	ServiceTime sim.Time
+	regions     []regionInfo
+}
+
+type regionInfo struct {
+	name  string
+	words int
+}
+
+// New creates the memory subsystem for machine m.
+func New(m *machine.Machine) *Memory {
+	return &Memory{m: m, ServiceTime: 1}
+}
+
+// Machine returns the backing machine.
+func (mem *Memory) Machine() *machine.Machine { return mem.m }
+
+// Regions returns the names and sizes of all allocated regions.
+func (mem *Memory) Regions() []string {
+	var out []string
+	for _, r := range mem.regions {
+		out = append(out, fmt.Sprintf("%s[%d]", r.name, r.words))
+	}
+	return out
+}
+
+// Region is a fixed-size array of shared words of type T with
+// per-location access queues.
+type Region[T any] struct {
+	mem      *Memory
+	name     string
+	scope    Scope
+	homeCore int // meaningful for Intra scope
+	vals     []T
+	nextFree []sim.Time
+	reads    int64
+	writes   int64
+}
+
+// NewRegion allocates a shared region of n words. For Intra scope,
+// homeCore is the processor whose threads get ℓ_a latency; pass 0 for
+// Inter scope (ignored).
+func NewRegion[T any](mem *Memory, name string, scope Scope, homeCore, n int) *Region[T] {
+	if n < 0 {
+		panic("memory: negative region size")
+	}
+	if scope == Intra && (homeCore < 0 || homeCore >= mem.m.Cfg.NumCores()) {
+		panic(fmt.Sprintf("memory: home core %d out of range", homeCore))
+	}
+	mem.regions = append(mem.regions, regionInfo{name: name, words: n})
+	return &Region[T]{
+		mem:      mem,
+		name:     name,
+		scope:    scope,
+		homeCore: homeCore,
+		vals:     make([]T, n),
+		nextFree: make([]sim.Time, n),
+	}
+}
+
+// Name returns the region's name.
+func (r *Region[T]) Name() string { return r.name }
+
+// Len returns the number of words.
+func (r *Region[T]) Len() int { return len(r.vals) }
+
+// Scope returns the region's scope.
+func (r *Region[T]) Scope() Scope { return r.scope }
+
+// Stats returns the total serialized reads and writes performed.
+func (r *Region[T]) Stats() (reads, writes int64) { return r.reads, r.writes }
+
+// intraFor reports whether an access by thread t is intra-processor.
+func (r *Region[T]) intraFor(t machine.ThreadID) bool {
+	return r.scope == Intra && r.mem.m.Cfg.CoreOf(t) == r.homeCore
+}
+
+// access performs the common serialization + latency + bandwidth
+// charging and returns whether the access was intra-processor.
+func (r *Region[T]) access(a Agent, i int) bool {
+	if i < 0 || i >= len(r.vals) {
+		panic(fmt.Sprintf("memory: %s index %d out of range [0,%d)", r.name, i, len(r.vals)))
+	}
+	p := a.Proc()
+	now := p.Now()
+	// Queued (serialized) access: reserve the next service slot
+	// atomically (before yielding), then wait for it. Same-instant
+	// accessors thus serialize strictly instead of double-booking.
+	start := r.nextFree[i]
+	if start < now {
+		start = now
+	}
+	r.nextFree[i] = start + r.mem.ServiceTime
+	if wait := start - now; wait > 0 {
+		a.Counters().QueueWait += wait
+		p.Hold(wait)
+	}
+
+	c := r.mem.m.Cfg.Costs
+	intra := r.intraFor(a.Thread())
+	if intra {
+		p.Hold(c.EllA)
+		a.HoldCost(c.GShA)
+	} else {
+		p.Hold(c.EllE)
+		a.HoldCost(c.GShE)
+	}
+	return intra
+}
+
+// Read performs a serialized shared read and returns the value observed
+// at completion time.
+func (r *Region[T]) Read(a Agent, i int) T {
+	intra := r.access(a, i)
+	if intra {
+		a.Counters().ReadsIntra++
+	} else {
+		a.Counters().ReadsInter++
+	}
+	r.reads++
+	return r.vals[i]
+}
+
+// Write performs a serialized shared write.
+func (r *Region[T]) Write(a Agent, i int, v T) {
+	intra := r.access(a, i)
+	if intra {
+		a.Counters().WritesIntra++
+	} else {
+		a.Counters().WritesInter++
+	}
+	r.writes++
+	r.vals[i] = v
+}
+
+// FetchAdd atomically adds delta to an integer-like word and returns
+// the previous value. The read-modify-write occupies the location for
+// one service slot, so concurrent FetchAdds serialize without lost
+// updates — the hardware atomic the async_exec examples (shared
+// counters, termination detectors) want.
+func FetchAdd[T int64 | int32 | int](r *Region[T], a Agent, i int, delta T) T {
+	intra := r.access(a, i)
+	if intra {
+		a.Counters().ReadsIntra++
+		a.Counters().WritesIntra++
+	} else {
+		a.Counters().ReadsInter++
+		a.Counters().WritesInter++
+	}
+	r.reads++
+	r.writes++
+	old := r.vals[i]
+	r.vals[i] = old + delta
+	return old
+}
+
+// ReadRange reads words [lo, hi) one serialized access at a time and
+// returns a copy.
+func (r *Region[T]) ReadRange(a Agent, lo, hi int) []T {
+	out := make([]T, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, r.Read(a, i))
+	}
+	return out
+}
+
+// WriteRange writes vals starting at lo, one serialized access per word.
+func (r *Region[T]) WriteRange(a Agent, lo int, vals []T) {
+	for i, v := range vals {
+		r.Write(a, lo+i, v)
+	}
+}
+
+// Peek returns a word without simulation cost. For initialization,
+// verification and tests only.
+func (r *Region[T]) Peek(i int) T { return r.vals[i] }
+
+// Poke sets a word without simulation cost. For initialization only.
+func (r *Region[T]) Poke(i int, v T) { r.vals[i] = v }
+
+// Snapshot returns a cost-free copy of the whole region.
+func (r *Region[T]) Snapshot() []T {
+	out := make([]T, len(r.vals))
+	copy(out, r.vals)
+	return out
+}
+
+// Fill pokes every word to v, cost-free.
+func (r *Region[T]) Fill(v T) {
+	for i := range r.vals {
+		r.vals[i] = v
+	}
+}

@@ -1,0 +1,209 @@
+// Package msgpass implements the STAMP message-passing substrate:
+// mailbox endpoints with the paper's intra-/inter-processor message
+// delays (L_a, L_e) and bandwidth factors (g_mp_a, g_mp_e). Delivery is
+// FIFO per sender-receiver pair and messages become receivable exactly
+// at their arrival time in virtual time.
+package msgpass
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Agent is the sending/receiving process as the network sees it (the
+// STAMP core's execution context implements it).
+type Agent interface {
+	Proc() *sim.Proc
+	Thread() machine.ThreadID
+	Counters() *energy.Counters
+	HoldCost(ticks float64)
+}
+
+// Message is a delivered payload plus provenance.
+type Message struct {
+	From    *Endpoint
+	Payload any
+	// Words is the message size for long-message (LogGP-style)
+	// bandwidth charging; 0 or 1 means a minimal message.
+	Words   int
+	SentAt  sim.Time
+	Arrived sim.Time
+}
+
+// Network is the message-passing subsystem of one simulated machine.
+type Network struct {
+	m *machine.Machine
+
+	delivered int64
+	endpoints []*Endpoint
+}
+
+// New creates the network for machine m.
+func New(m *machine.Machine) *Network {
+	return &Network{m: m}
+}
+
+// Machine returns the backing machine.
+func (n *Network) Machine() *machine.Machine { return n.m }
+
+// Delivered returns the total number of messages delivered so far.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// Endpoint is one process's mailbox. Create one per process with the
+// hardware thread the process is bound to.
+type Endpoint struct {
+	net    *Network
+	name   string
+	thread machine.ThreadID
+	inbox  []Message
+	rq     sim.WaitQueue // blocked receivers
+}
+
+// NewEndpoint registers a mailbox owned by a process on hardware
+// thread t.
+func (n *Network) NewEndpoint(name string, t machine.ThreadID) *Endpoint {
+	if int(t) < 0 || int(t) >= n.m.Cfg.NumThreads() {
+		panic(fmt.Sprintf("msgpass: endpoint thread %d out of range", t))
+	}
+	ep := &Endpoint{net: n, name: name, thread: t}
+	n.endpoints = append(n.endpoints, ep)
+	return ep
+}
+
+// Name returns the endpoint name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Thread returns the owning hardware thread.
+func (e *Endpoint) Thread() machine.ThreadID { return e.thread }
+
+// Pending returns the number of messages already arrived and not yet
+// received.
+func (e *Endpoint) Pending() int { return len(e.inbox) }
+
+// delay and bandwidth class for a transfer from thread a to thread b.
+func (n *Network) linkCosts(a, b machine.ThreadID) (delay sim.Time, g float64, intra bool) {
+	c := n.m.Cfg.Costs
+	if n.m.Cfg.SameCore(a, b) {
+		return c.LA, c.GMpA, true
+	}
+	return c.LE, c.GMpE, false
+}
+
+// Send transmits payload from agent a to endpoint dst without blocking
+// for delivery: the sender is charged the bandwidth (occupancy) cost and
+// continues; the message arrives L ticks later. It returns the arrival
+// time.
+func (e *Endpoint) Send(a Agent, dst *Endpoint, payload any) sim.Time {
+	return e.SendSized(a, dst, payload, 1)
+}
+
+// SendSized is Send for a long message of `words` payload words. Per
+// the LogGP extension, injection occupies the sender for an extra
+// (words−1)·G_word and the wire for the same, so the arrival time is
+// L + (words−1)·G_word after the send instant.
+func (e *Endpoint) SendSized(a Agent, dst *Endpoint, payload any, words int) sim.Time {
+	if dst == nil {
+		panic("msgpass: send to nil endpoint")
+	}
+	if words < 1 {
+		words = 1
+	}
+	delay, g, intra := e.net.linkCosts(a.Thread(), dst.thread)
+	if intra {
+		a.Counters().SendsIntra++
+	} else {
+		a.Counters().SendsInter++
+	}
+	extra := float64(words-1) * e.net.m.Cfg.Costs.GMpWord
+	// The message departs at the send instant; the bandwidth charge g
+	// (plus the long-message serialization) is sender occupancy, paid
+	// after injection (the model adds the L and g terms independently
+	// in T_S-round).
+	m := Message{From: e, Payload: payload, Words: words, SentAt: a.Proc().Now()}
+	wire := delay + sim.Time(extra)
+	arrive := m.SentAt + wire
+	e.net.deliverAt(e.net.m.K, dst, m, wire)
+	a.HoldCost(g + extra)
+	return arrive
+}
+
+// SendSync transmits like Send but blocks the sender until the message
+// has arrived at dst — the paper's synch_comm behaviour for message
+// passing ("blocked processes in message passing").
+func (e *Endpoint) SendSync(a Agent, dst *Endpoint, payload any) {
+	arrive := e.Send(a, dst, payload)
+	p := a.Proc()
+	if wait := arrive - p.Now(); wait > 0 {
+		p.Hold(wait)
+	}
+}
+
+// deliverAt schedules the arrival of m at dst after delay.
+func (n *Network) deliverAt(k *sim.Kernel, dst *Endpoint, m Message, delay sim.Time) {
+	k.Schedule(delay, func() {
+		m.Arrived = k.Now()
+		dst.inbox = append(dst.inbox, m)
+		n.delivered++
+		dst.rq.Signal(k)
+	})
+}
+
+// Recv blocks agent a until a message is available in its endpoint e,
+// then removes and returns the oldest one, charging receive cost.
+func (e *Endpoint) Recv(a Agent) Message {
+	p := a.Proc()
+	for len(e.inbox) == 0 {
+		before := p.Now()
+		e.rq.Wait(p)
+		a.Counters().QueueWait += p.Now() - before
+	}
+	m := e.inbox[0]
+	copy(e.inbox, e.inbox[1:])
+	e.inbox[len(e.inbox)-1] = Message{}
+	e.inbox = e.inbox[:len(e.inbox)-1]
+
+	_, g, intra := e.net.linkCosts(m.From.thread, e.thread)
+	if intra {
+		a.Counters().RecvsIntra++
+	} else {
+		a.Counters().RecvsInter++
+	}
+	extra := 0.0
+	if m.Words > 1 {
+		extra = float64(m.Words-1) * e.net.m.Cfg.Costs.GMpWord
+	}
+	a.HoldCost(g + extra)
+	return m
+}
+
+// TryRecv returns the oldest arrived message without blocking; ok is
+// false if none has arrived.
+func (e *Endpoint) TryRecv(a Agent) (Message, bool) {
+	if len(e.inbox) == 0 {
+		return Message{}, false
+	}
+	return e.Recv(a), true
+}
+
+// RecvN receives exactly n messages, blocking as needed.
+func (e *Endpoint) RecvN(a Agent, n int) []Message {
+	out := make([]Message, 0, n)
+	for len(out) < n {
+		out = append(out, e.Recv(a))
+	}
+	return out
+}
+
+// Broadcast sends payload from agent a (owner of e) to every endpoint
+// in dsts, skipping e itself.
+func (e *Endpoint) Broadcast(a Agent, dsts []*Endpoint, payload any) {
+	for _, d := range dsts {
+		if d == e {
+			continue
+		}
+		e.Send(a, d, payload)
+	}
+}

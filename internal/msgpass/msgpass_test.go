@@ -1,0 +1,365 @@
+package msgpass
+
+import (
+	"testing"
+
+	"repro/internal/agenttest"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func rig(cfg machine.Config) (*sim.Kernel, *Network) {
+	k := sim.NewKernel()
+	return k, New(machine.New(k, cfg))
+}
+
+func TestSendRecvDeliversPayload(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 1)
+	k.Spawn("sender", func(p *sim.Proc) {
+		a := agenttest.New(p, 0)
+		src.Send(a, dst, "hello")
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		a := agenttest.New(p, 1)
+		m := dst.Recv(a)
+		if m.Payload != "hello" {
+			t.Errorf("payload %v", m.Payload)
+		}
+		if m.From != src {
+			t.Error("wrong provenance")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Delivered() != 1 {
+		t.Fatalf("delivered %d, want 1", net.Delivered())
+	}
+}
+
+func TestIntraDelayLA(t *testing.T) {
+	cfg := machine.Niagara() // LA=5
+	k, net := rig(cfg)
+	a0 := net.NewEndpoint("a", 0)
+	a1 := net.NewEndpoint("b", 1) // same core (threads 0-3 on core 0)
+	var arrived sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		a0.Send(ag, a1, 1)
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		ag := agenttest.New(p, 1)
+		m := a1.Recv(ag)
+		arrived = m.Arrived
+		if ag.C.RecvsIntra != 1 || ag.C.RecvsInter != 0 {
+			t.Errorf("recv counters intra=%d inter=%d", ag.C.RecvsIntra, ag.C.RecvsInter)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrived != cfg.Costs.LA {
+		t.Fatalf("intra message arrived at %d, want %d", arrived, cfg.Costs.LA)
+	}
+}
+
+func TestInterDelayLE(t *testing.T) {
+	cfg := machine.Niagara() // LE=20
+	k, net := rig(cfg)
+	a0 := net.NewEndpoint("a", 0)
+	b0 := net.NewEndpoint("b", 4) // thread 4 = core 1
+	var arrived sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		a0.Send(ag, b0, 1)
+		if ag.C.SendsInter != 1 || ag.C.SendsIntra != 0 {
+			t.Errorf("send counters intra=%d inter=%d", ag.C.SendsIntra, ag.C.SendsInter)
+		}
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		ag := agenttest.New(p, 4)
+		arrived = b0.Recv(ag).Arrived
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrived != cfg.Costs.LE {
+		t.Fatalf("inter message arrived at %d, want %d", arrived, cfg.Costs.LE)
+	}
+}
+
+func TestSendIsNonBlocking(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 4)
+	var after sim.Time = -1
+	k.Spawn("s", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		src.Send(ag, dst, 1)
+		after = p.Now()
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		dst.Recv(agenttest.New(p, 4))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sender only pays bandwidth g_mp_e = 2 ticks, not the 20-tick L_e.
+	if after >= machine.Niagara().Costs.LE {
+		t.Fatalf("async send blocked %d ticks", after)
+	}
+}
+
+func TestSendSyncBlocksUntilDelivery(t *testing.T) {
+	cfg := machine.Niagara()
+	k, net := rig(cfg)
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 4)
+	var after sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		src.SendSync(ag, dst, 1)
+		after = p.Now()
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		dst.Recv(agenttest.New(p, 4))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after < cfg.Costs.LE {
+		t.Fatalf("sync send returned at %d, before delivery at %d", after, cfg.Costs.LE)
+	}
+}
+
+func TestRecvBlocksUntilArrival(t *testing.T) {
+	cfg := machine.Niagara()
+	k, net := rig(cfg)
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 4)
+	var recvAt sim.Time
+	k.Spawn("r", func(p *sim.Proc) {
+		ag := agenttest.New(p, 4)
+		dst.Recv(ag)
+		recvAt = p.Now()
+		if ag.C.QueueWait == 0 {
+			t.Error("blocked receive did not record queue wait")
+		}
+	})
+	k.Spawn("s", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		p.Hold(10)
+		src.Send(ag, dst, 1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt < 10+cfg.Costs.LE {
+		t.Fatalf("received at %d, before arrival %d", recvAt, 10+cfg.Costs.LE)
+	}
+}
+
+func TestFIFOPerSenderReceiverPair(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 1)
+	k.Spawn("s", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		for i := 0; i < 5; i++ {
+			src.Send(ag, dst, i)
+		}
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		ag := agenttest.New(p, 1)
+		for i := 0; i < 5; i++ {
+			m := dst.Recv(ag)
+			if m.Payload != i {
+				t.Errorf("message %d out of order: got %v", i, m.Payload)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 1)
+	k.Spawn("r", func(p *sim.Proc) {
+		ag := agenttest.New(p, 1)
+		if _, ok := dst.TryRecv(ag); ok {
+			t.Error("TryRecv succeeded on empty inbox")
+		}
+		p.Hold(100) // let the message arrive
+		m, ok := dst.TryRecv(ag)
+		if !ok || m.Payload != "x" {
+			t.Errorf("TryRecv after arrival: ok=%v payload=%v", ok, m.Payload)
+		}
+	})
+	k.Spawn("s", func(p *sim.Proc) {
+		src.Send(agenttest.New(p, 0), dst, "x")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvN(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	dst := net.NewEndpoint("dst", 0)
+	for i := 0; i < 3; i++ {
+		i := i
+		ep := net.NewEndpoint("s", machine.ThreadID(4+4*i))
+		k.Spawn("s", func(p *sim.Proc) {
+			ag := agenttest.New(p, ep.Thread())
+			p.Hold(sim.Time(i))
+			ep.Send(ag, dst, i)
+		})
+	}
+	k.Spawn("r", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		ms := dst.RecvN(ag, 3)
+		if len(ms) != 3 {
+			t.Errorf("got %d messages", len(ms))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSkipsSelf(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	eps := make([]*Endpoint, 4)
+	for i := range eps {
+		eps[i] = net.NewEndpoint("e", machine.ThreadID(i))
+	}
+	k.Spawn("b", func(p *sim.Proc) {
+		ag := agenttest.New(p, 0)
+		eps[0].Broadcast(ag, eps, "v")
+		if ag.C.Sends() != 3 {
+			t.Errorf("broadcast sent %d, want 3", ag.C.Sends())
+		}
+	})
+	for i := 1; i < 4; i++ {
+		ep := eps[i]
+		k.Spawn("r", func(p *sim.Proc) {
+			ep.Recv(agenttest.New(p, ep.Thread()))
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eps[0].Pending() != 0 {
+		t.Fatal("broadcaster received its own message")
+	}
+}
+
+func TestBadEndpointThreadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_, net := rig(machine.Niagara())
+	net.NewEndpoint("bad", 64)
+}
+
+func TestSizedMessagesChargeBandwidth(t *testing.T) {
+	cfg := machine.Niagara()
+	cfg.Costs.GMpWord = 0.5
+	k, net := rig(cfg)
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 1)
+	var shortArrive, longArrive sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		a := agenttest.New(p, 0)
+		shortArrive = src.SendSized(a, dst, "s", 1)
+		start := p.Now()
+		longArrive = src.SendSized(a, dst, "l", 101)
+		// Long injection occupies the sender: g=1 + 100·0.5 = 51.
+		if injected := p.Now() - start; injected < 51 {
+			t.Errorf("long send occupied only %d ticks", injected)
+		}
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		a := agenttest.New(p, 1)
+		dst.Recv(a)
+		dst.Recv(a)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Wire time: short L_a = 5; long L_a + 100·0.5 = 55.
+	if shortArrive != 5 {
+		t.Fatalf("short arrival %d, want 5", shortArrive)
+	}
+	if longArrive-sim.Time(51) < 55-51 { // arrival measured from its own send instant
+		t.Fatalf("long arrival %d too early", longArrive)
+	}
+}
+
+func TestBatchingBeatsManySmallMessages(t *testing.T) {
+	// 64 words as one long message vs 64 unit messages: with per-word
+	// gap well under the fixed per-message charge, batching wins —
+	// the LogGP motivation.
+	run := func(batch bool) sim.Time {
+		cfg := machine.Niagara()
+		cfg.Costs.GMpWord = 0.25
+		k, net := rig(cfg)
+		src := net.NewEndpoint("src", 0)
+		dst := net.NewEndpoint("dst", 1)
+		k.Spawn("s", func(p *sim.Proc) {
+			a := agenttest.New(p, 0)
+			if batch {
+				src.SendSized(a, dst, "batch", 64)
+			} else {
+				for i := 0; i < 64; i++ {
+					src.SendSized(a, dst, i, 1)
+				}
+			}
+		})
+		k.Spawn("r", func(p *sim.Proc) {
+			a := agenttest.New(p, 1)
+			n := 64
+			if batch {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				dst.Recv(a)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now()
+	}
+	batched, single := run(true), run(false)
+	if batched >= single {
+		t.Fatalf("batching (T=%d) not faster than %d unit messages (T=%d)", batched, 64, single)
+	}
+}
+
+func TestZeroWordSizeTreatedAsOne(t *testing.T) {
+	cfg := machine.Niagara()
+	cfg.Costs.GMpWord = 1
+	k, net := rig(cfg)
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 1)
+	k.Spawn("s", func(p *sim.Proc) {
+		a := agenttest.New(p, 0)
+		if arr := src.SendSized(a, dst, "x", 0); arr != cfg.Costs.LA {
+			t.Errorf("zero-size arrival %d, want %d", arr, cfg.Costs.LA)
+		}
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		dst.Recv(agenttest.New(p, 1))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

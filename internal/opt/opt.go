@@ -1,0 +1,205 @@
+// Package opt implements the paper's stated future work (§5): "finding
+// a systematic way of optimizing the overall performance of the
+// multi-threaded machine based on the complexity estimates provided by
+// our STAMP complexity model." Given an iterative data-parallel
+// workload description, it enumerates machine configurations — process
+// count, distribution attribute, DVFS point — evaluates each with the
+// §3.1 cost formulas, and returns the optimum under any of the §2.1
+// metrics (D, PDP, EDP, ED²P) subject to per-processor power envelopes.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/energy"
+	"repro/internal/machine"
+)
+
+// Workload describes one iteration of a symmetric data-parallel STAMP
+// algorithm whose work divides evenly among p processes.
+type Workload struct {
+	Name string
+	// Total local operations per iteration, split across processes.
+	TotalFp, TotalInt int64
+	// MsgsPerProc returns how many messages each process sends (and
+	// receives) per iteration when run with p processes; nil means no
+	// message passing.
+	MsgsPerProc func(p int) int
+	// SharedRWPerProc returns shared-memory reads+writes per process
+	// per iteration; nil means none.
+	SharedRWPerProc func(p int) int
+	// Iterations is the S-unit count.
+	Iterations int
+}
+
+// Config is one point of the search space.
+type Config struct {
+	P    int       // processes
+	Dist core.Dist // placement attribute
+	Freq float64   // DVFS multiplier
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("p=%d %v f=%.2gx", c.P, c.Dist, c.Freq)
+}
+
+// Eval is the model's verdict on one configuration.
+type Eval struct {
+	Cfg      Config
+	T        float64 // predicted total execution time
+	E        float64 // predicted total energy
+	PerCore  float64 // predicted power per busiest processor
+	Feasible bool
+	Reason   string // why infeasible, if so
+}
+
+// Power returns total mean power E/T.
+func (e Eval) Power() float64 {
+	if e.T == 0 {
+		return 0
+	}
+	return e.E / e.T
+}
+
+// Metric evaluates the §2.1 objective on the prediction.
+func (e Eval) Metric(m energy.Metric) float64 {
+	switch m {
+	case energy.MetricD:
+		return e.T
+	case energy.MetricPDP:
+		return e.E
+	case energy.MetricEDP:
+		return e.E * e.T
+	case energy.MetricED2P:
+		return e.E * e.T * e.T
+	}
+	panic("opt: unknown metric")
+}
+
+// Evaluate predicts one configuration on machine cfg under the §3.1
+// formulas.
+func Evaluate(cfg machine.Config, w Workload, c Config) Eval {
+	ev := Eval{Cfg: c}
+	if c.P < 1 || c.P > cfg.NumThreads() {
+		ev.Reason = fmt.Sprintf("p=%d outside [1,%d]", c.P, cfg.NumThreads())
+		return ev
+	}
+	if c.Freq <= 0 {
+		ev.Reason = "non-positive frequency"
+		return ev
+	}
+
+	m := cost.FromCostTable(cfg.Costs)
+	intra := c.Dist == core.IntraProc && c.P <= cfg.ThreadsPerCore
+
+	r := cost.Round{
+		CFp:  float64(w.TotalFp) / float64(c.P),
+		CInt: float64(w.TotalInt) / float64(c.P),
+	}
+	if intra {
+		r.PA = c.P
+	} else {
+		r.PE = c.P
+	}
+	if w.MsgsPerProc != nil && c.P > 1 {
+		n := float64(w.MsgsPerProc(c.P))
+		r.MsgPassing = n > 0
+		if intra {
+			r.MSa, r.MRa = n, n
+		} else {
+			r.MSe, r.MRe = n, n
+		}
+	}
+	if w.SharedRWPerProc != nil {
+		n := float64(w.SharedRWPerProc(c.P))
+		r.SharedMem = n > 0
+		if intra {
+			r.DRa, r.DWa = n/2, n/2
+		} else {
+			r.DRe, r.DWe = n/2, n/2
+		}
+	}
+
+	// DVFS scaling: local time ∝ 1/f, local energy ∝ f²;
+	// communication latency/energy unscaled (wire/memory bound).
+	compT := r.C(m) / c.Freq
+	commT := r.T(m) - r.C(m)
+	compE := (r.CFp*m.WFp + r.CInt*m.WInt) * c.Freq * c.Freq
+	commE := r.E(m) - (r.CFp*m.WFp + r.CInt*m.WInt)
+
+	iterT := compT + commT
+	perProcE := compE + commE
+	ev.T = iterT * float64(w.Iterations)
+	ev.E = perProcE * float64(c.P) * float64(w.Iterations)
+
+	// Processor occupancy: intra packs ThreadsPerCore per core.
+	var procsOnBusiest int
+	if c.Dist == core.IntraProc {
+		procsOnBusiest = c.P
+		if procsOnBusiest > cfg.ThreadsPerCore {
+			procsOnBusiest = cfg.ThreadsPerCore
+		}
+	} else {
+		procsOnBusiest = (c.P + cfg.NumCores() - 1) / cfg.NumCores()
+	}
+	if iterT > 0 {
+		ev.PerCore = perProcE / iterT * float64(procsOnBusiest)
+	}
+	ev.Feasible = true
+	ev.Reason = "ok"
+	return ev
+}
+
+// Optimize enumerates p ∈ [1, threads], both distributions and the
+// given DVFS points, and returns the best feasible configuration under
+// metric plus every evaluation (for reporting). envelope ≤ 0 means
+// unconstrained. The search is exhaustive — the space is tiny and the
+// evaluations are closed-form, which is exactly the "quick comparison"
+// role §3 assigns the model.
+func Optimize(cfg machine.Config, w Workload, metric energy.Metric, envelope float64, freqs []float64) (Eval, []Eval) {
+	if len(freqs) == 0 {
+		freqs = []float64{1}
+	}
+	var all []Eval
+	best := Eval{}
+	bestScore := math.Inf(1)
+	for p := 1; p <= cfg.NumThreads(); p++ {
+		for _, d := range []core.Dist{core.IntraProc, core.InterProc} {
+			for _, f := range freqs {
+				ev := Evaluate(cfg, w, Config{P: p, Dist: d, Freq: f})
+				if ev.Feasible && envelope > 0 && ev.PerCore > envelope+1e-9 {
+					ev.Feasible = false
+					ev.Reason = fmt.Sprintf("per-core power %.3g exceeds envelope %.3g", ev.PerCore, envelope)
+				}
+				all = append(all, ev)
+				if !ev.Feasible {
+					continue
+				}
+				score := ev.Metric(metric)
+				if score < bestScore {
+					bestScore = score
+					best = ev
+				}
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Feasible != all[j].Feasible {
+			return all[i].Feasible
+		}
+		return all[i].Metric(metric) < all[j].Metric(metric)
+	})
+	return best, all
+}
+
+// AllToAll is the Jacobi-style communication pattern: every process
+// exchanges one message with every other per iteration.
+func AllToAll(p int) int { return p - 1 }
+
+// Ring is the nearest-neighbor pattern.
+func Ring(p int) int { return 1 }

@@ -1,0 +1,192 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/machine"
+)
+
+// wl is a compute-heavy embarrassingly parallel workload.
+func wl() Workload {
+	return Workload{
+		Name:       "reduce",
+		TotalFp:    8192,
+		TotalInt:   1024,
+		Iterations: 4,
+	}
+}
+
+// commWl adds all-to-all messaging (Jacobi-like).
+func commWl() Workload {
+	w := wl()
+	w.MsgsPerProc = AllToAll
+	return w
+}
+
+func TestEvaluateRejectsBadConfigs(t *testing.T) {
+	cfg := machine.Niagara()
+	if ev := Evaluate(cfg, wl(), Config{P: 0, Freq: 1}); ev.Feasible {
+		t.Fatal("p=0 feasible")
+	}
+	if ev := Evaluate(cfg, wl(), Config{P: 99, Freq: 1}); ev.Feasible {
+		t.Fatal("p beyond machine feasible")
+	}
+	if ev := Evaluate(cfg, wl(), Config{P: 1, Freq: 0}); ev.Feasible {
+		t.Fatal("f=0 feasible")
+	}
+}
+
+func TestParallelismCutsTime(t *testing.T) {
+	cfg := machine.Niagara()
+	e1 := Evaluate(cfg, wl(), Config{P: 1, Dist: core.IntraProc, Freq: 1})
+	e8 := Evaluate(cfg, wl(), Config{P: 8, Dist: core.InterProc, Freq: 1})
+	if e8.T >= e1.T {
+		t.Fatalf("8-way T=%.0f not below 1-way T=%.0f", e8.T, e1.T)
+	}
+	// Pure compute: energy identical regardless of split.
+	if e8.E != e1.E {
+		t.Fatalf("compute energy changed with p: %g vs %g", e8.E, e1.E)
+	}
+}
+
+func TestCommunicationPenalizesWideSpread(t *testing.T) {
+	cfg := machine.Niagara()
+	// All-to-all: more processes mean more messages; the model must
+	// show the tradeoff (time no longer monotone in p).
+	e2 := Evaluate(cfg, commWl(), Config{P: 2, Dist: core.InterProc, Freq: 1})
+	e32 := Evaluate(cfg, commWl(), Config{P: 32, Dist: core.InterProc, Freq: 1})
+	if e32.E <= e2.E {
+		t.Fatal("message energy did not grow with p")
+	}
+}
+
+func TestDVFSScaling(t *testing.T) {
+	cfg := machine.Niagara()
+	base := Evaluate(cfg, wl(), Config{P: 4, Dist: core.IntraProc, Freq: 1})
+	half := Evaluate(cfg, wl(), Config{P: 4, Dist: core.IntraProc, Freq: 0.5})
+	if half.T != 2*base.T {
+		t.Fatalf("half-freq T %g, want %g", half.T, 2*base.T)
+	}
+	if half.E != base.E/4 {
+		t.Fatalf("half-freq E %g, want %g", half.E, base.E/4)
+	}
+	// Power per core ∝ f³.
+	if got, want := half.PerCore, base.PerCore/8; mathAbs(got-want) > 1e-9 {
+		t.Fatalf("half-freq per-core power %g, want %g", got, want)
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMetricDPicksFastHot(t *testing.T) {
+	cfg := machine.Niagara()
+	freqs := []float64{0.5, 1}
+	best, _ := Optimize(cfg, wl(), energy.MetricD, 0, freqs)
+	if !best.Feasible {
+		t.Fatal("no feasible config")
+	}
+	if best.Cfg.Freq != 1 {
+		t.Fatalf("D-optimal frequency %g, want max", best.Cfg.Freq)
+	}
+	if best.Cfg.P != 32 {
+		t.Fatalf("D-optimal p=%d, want all 32 threads for pure compute", best.Cfg.P)
+	}
+}
+
+func TestMetricPDPPicksSlowCool(t *testing.T) {
+	cfg := machine.Niagara()
+	freqs := []float64{0.5, 1}
+	best, _ := Optimize(cfg, wl(), energy.MetricPDP, 0, freqs)
+	if best.Cfg.Freq != 0.5 {
+		t.Fatalf("PDP-optimal frequency %g, want min (E ∝ f²)", best.Cfg.Freq)
+	}
+}
+
+func TestMetricsDisagree(t *testing.T) {
+	// The paper's premise: different deployment environments (metrics)
+	// select different configurations.
+	cfg := machine.Niagara()
+	freqs := []float64{0.5, 1}
+	d, _ := Optimize(cfg, wl(), energy.MetricD, 0, freqs)
+	pdp, _ := Optimize(cfg, wl(), energy.MetricPDP, 0, freqs)
+	if d.Cfg == pdp.Cfg {
+		t.Fatalf("D and PDP chose the same config %v", d.Cfg)
+	}
+}
+
+func TestEnvelopeConstrainsChoice(t *testing.T) {
+	cfg := machine.Niagara()
+	unconstrained, _ := Optimize(cfg, wl(), energy.MetricD, 0, []float64{1})
+	// A harsh envelope forbids the hottest configurations.
+	constrained, all := Optimize(cfg, wl(), energy.MetricD, unconstrained.PerCore/2, []float64{1})
+	if !constrained.Feasible {
+		t.Fatal("no feasible config under envelope")
+	}
+	if constrained.PerCore > unconstrained.PerCore/2+1e-9 {
+		t.Fatalf("chosen config exceeds envelope: %g", constrained.PerCore)
+	}
+	if constrained.T < unconstrained.T {
+		t.Fatal("constrained optimum faster than unconstrained?")
+	}
+	infeasibles := 0
+	for _, ev := range all {
+		if !ev.Feasible && ev.Reason == "" {
+			t.Fatal("infeasible eval without reason")
+		}
+		if !ev.Feasible {
+			infeasibles++
+		}
+	}
+	if infeasibles == 0 {
+		t.Fatal("envelope excluded nothing")
+	}
+}
+
+func TestCommWorkloadPrefersFewerProcsThanCompute(t *testing.T) {
+	cfg := machine.Niagara()
+	bestComm, _ := Optimize(cfg, commWl(), energy.MetricD, 0, []float64{1})
+	bestPure, _ := Optimize(cfg, wl(), energy.MetricD, 0, []float64{1})
+	if bestComm.Cfg.P > bestPure.Cfg.P {
+		t.Fatalf("all-to-all picked more procs (%d) than pure compute (%d)",
+			bestComm.Cfg.P, bestPure.Cfg.P)
+	}
+}
+
+func TestOptimizeDefaultFreqs(t *testing.T) {
+	best, all := Optimize(machine.Niagara(), wl(), energy.MetricEDP, 0, nil)
+	if !best.Feasible || len(all) == 0 {
+		t.Fatal("default-freq optimize failed")
+	}
+	// Results sorted: feasible first, ascending metric.
+	prev := -1.0
+	for _, ev := range all {
+		if !ev.Feasible {
+			break
+		}
+		s := ev.Metric(energy.MetricEDP)
+		if prev >= 0 && s < prev {
+			t.Fatal("feasible evals not sorted by metric")
+		}
+		prev = s
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{P: 4, Dist: core.IntraProc, Freq: 0.5}
+	if c.String() == "" {
+		t.Fatal("empty config string")
+	}
+}
+
+func TestRingPattern(t *testing.T) {
+	if Ring(8) != 1 || AllToAll(8) != 7 {
+		t.Fatal("patterns wrong")
+	}
+}

@@ -1,0 +1,175 @@
+// Package relmodels implements first-order cost calculators for the
+// parallel computation models the paper positions STAMP against (§2.2):
+// Valiant's BSP, Culler et al.'s LogP (with the LogGP long-message
+// extension), and the Queued Shared Memory model of Gibbons, Matias and
+// Ramachandran. They allow the comparison experiments to evaluate the
+// same algorithm under every model's cost formula and to make the
+// paper's positioning concrete: all three predict *time only* — none
+// models energy, power, transactions or heterogeneity, which is the gap
+// STAMP fills.
+package relmodels
+
+import "math"
+
+// BSP is the Bulk Synchronous Parallel model: computation proceeds in
+// supersteps; each superstep costs w + g·h + l, where w is the maximum
+// local work, h the maximum number of messages sent or received by one
+// processor (an h-relation), g the per-message bandwidth cost and l the
+// barrier synchronization latency.
+type BSP struct {
+	P int     // processors
+	G float64 // bandwidth cost per message (h-relation gradient)
+	L float64 // barrier latency per superstep
+}
+
+// Superstep returns the cost w + g·h + l of one superstep.
+func (m BSP) Superstep(w float64, h float64) float64 {
+	return w + m.G*h + m.L
+}
+
+// Steps returns the cost of a sequence of supersteps.
+func (m BSP) Steps(ws, hs []float64) float64 {
+	if len(ws) != len(hs) {
+		panic("relmodels: ws and hs must align")
+	}
+	total := 0.0
+	for i := range ws {
+		total += m.Superstep(ws[i], hs[i])
+	}
+	return total
+}
+
+// LogP is the LogP model: L the network latency, O the per-message
+// processor overhead (send or receive), G the gap between consecutive
+// messages (reciprocal bandwidth), P the processor count.
+type LogP struct {
+	L float64 // latency
+	O float64 // overhead per message end
+	G float64 // gap between messages
+	P int
+}
+
+// gapOrOverhead is the effective per-message occupancy.
+func (m LogP) gapOrOverhead() float64 { return math.Max(m.G, m.O) }
+
+// SendTime returns the processor time consumed injecting n messages.
+func (m LogP) SendTime(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.O + float64(n-1)*m.gapOrOverhead()
+}
+
+// Delivery returns the time from send start to availability at the
+// receiver for the last of n pipelined messages (sender occupancy +
+// wire latency + receive overhead).
+func (m LogP) Delivery(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.SendTime(n) + m.L + m.O
+}
+
+// Round returns the cost of a compute-then-exchange round in which
+// every processor computes w, sends n messages and receives n.
+func (m LogP) Round(w float64, n int) float64 {
+	// Compute, inject n, last message lands L+o after its injection;
+	// receiving n messages costs n·max(g,o) of processor time, which
+	// overlaps arrival for all but the last.
+	return w + m.SendTime(n) + m.L + m.O + float64(n-1)*m.gapOrOverhead()
+}
+
+// LogGP extends LogP with a per-byte gap for long messages.
+type LogGP struct {
+	LogP
+	GBig float64 // gap per byte of a long message
+}
+
+// LongSend returns the injection time of one k-byte message.
+func (m LogGP) LongSend(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return m.O + float64(k-1)*m.GBig
+}
+
+// LongDelivery returns send-to-availability time of one k-byte message.
+func (m LogGP) LongDelivery(k int) float64 {
+	return m.LongSend(k) + m.L + m.O
+}
+
+// QSM is the Queued Shared Memory model: phases of local computation
+// plus shared-memory reads/writes; the cost of a phase is
+// max(m_op, g·m_rw, κ) where m_op is the maximum local ops of any
+// processor, m_rw its shared accesses, g the bandwidth gap, and κ the
+// maximum contention at any one location (accesses queue).
+type QSM struct {
+	P int
+	G float64 // gap per shared access
+}
+
+// Phase returns max(mop, g·mrw, κ).
+func (m QSM) Phase(mop, mrw, kappa float64) float64 {
+	return math.Max(mop, math.Max(m.G*mrw, kappa))
+}
+
+// Phases sums a sequence of phases.
+func (m QSM) Phases(mop, mrw, kappa []float64) float64 {
+	if len(mop) != len(mrw) || len(mop) != len(kappa) {
+		panic("relmodels: phase slices must align")
+	}
+	total := 0.0
+	for i := range mop {
+		total += m.Phase(mop[i], mrw[i], kappa[i])
+	}
+	return total
+}
+
+// Capability flags: what each model can express. STAMP's row is what
+// the paper adds (§1: "Power must be a critical part of the model.
+// Moreover, the model must be general enough to embrace ... adaptive
+// and heterogeneous computations and transactional systems").
+type Capability struct {
+	Model         string
+	Time          bool
+	Energy        bool
+	Power         bool
+	Transactions  bool
+	Asynchrony    bool // fully asynchronous execution (no forced bulk-synchrony)
+	Heterogeneous bool
+}
+
+// Capabilities returns the comparison matrix of §2.2 models plus STAMP.
+func Capabilities() []Capability {
+	return []Capability{
+		{Model: "PRAM", Time: true},
+		{Model: "BSP", Time: true},
+		{Model: "LogP", Time: true, Asynchrony: true},
+		{Model: "QSM", Time: true},
+		{Model: "STAMP", Time: true, Energy: true, Power: true,
+			Transactions: true, Asynchrony: true, Heterogeneous: true},
+	}
+}
+
+// JacobiBSP maps the paper's distributed Jacobi iteration onto BSP: one
+// superstep per iteration with w = 2n local ops and h = n−1 messages
+// each way (an (n−1)-relation).
+func JacobiBSP(n int, g, l float64) float64 {
+	m := BSP{P: n, G: g, L: l}
+	return m.Superstep(float64(2*n), float64(n-1))
+}
+
+// JacobiLogP maps one Jacobi iteration onto LogP: w = 2n local ops,
+// n−1 messages exchanged per processor.
+func JacobiLogP(n int, l, o, g float64) float64 {
+	m := LogP{L: l, O: o, G: g, P: n}
+	return m.Round(float64(2*n), n-1)
+}
+
+// APSPQSM maps one APSP round onto QSM: each processor performs 2v²
+// local ops and v²+v shared accesses (read the matrix, write its row);
+// contention κ = p accesses queue at a hot word in the worst case.
+func APSPQSM(v, p int, g float64) float64 {
+	m := QSM{P: p, G: g}
+	return m.Phase(float64(2*v*v), float64(v*v+v), float64(p))
+}

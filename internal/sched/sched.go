@@ -1,0 +1,185 @@
+// Package sched implements the application the paper builds STAMP for:
+// using the complexity estimates "to better utilize CMP/CMT-based
+// machines within given constraints such as power". It allocates STAMP
+// processes to hardware threads honoring the distribution attribute and
+// per-processor power envelopes, reproducing decisions like §4's "the
+// Jacobi algorithm should not be assigned to more than three
+// intra-processor threads per processor".
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Job describes a group of identical STAMP processes to place.
+type Job struct {
+	Name string
+	N    int // number of processes
+	// PowerPerProc is the per-process power upper bound from the cost
+	// model (e.g. cost.Jacobi.PowerBound()).
+	PowerPerProc float64
+	Dist         core.Dist
+}
+
+// Decision is the allocator's output.
+type Decision struct {
+	Job       Job
+	Feasible  bool
+	Reason    string
+	Placement core.Placement
+	// ThreadsPerCoreCap is how many of the job's processes one core
+	// may run without violating the envelope (capped by the hardware
+	// thread count).
+	ThreadsPerCoreCap int
+	// CoresUsed is the number of distinct cores in the placement.
+	CoresUsed int
+	// PerCorePower maps used core → estimated power.
+	PerCorePower map[int]float64
+}
+
+// CapPerCore returns how many processes with power p fit under a
+// per-core envelope, bounded by the core's hardware thread count.
+// A zero or negative envelope means "unlimited".
+func CapPerCore(cfg machine.Config, p, envelope float64) int {
+	cap := cfg.ThreadsPerCore
+	if envelope > 0 && p > 0 {
+		byPower := int(envelope / p)
+		if byPower < cap {
+			cap = byPower
+		}
+	}
+	return cap
+}
+
+// Allocate places job's processes on cfg under a per-core power
+// envelope. IntraProc packs the minimum number of cores (filling each
+// up to its power cap); InterProc deals processes round-robin across
+// all cores up to the cap. If the machine cannot hold the job within
+// the envelope, Feasible is false and Placement is nil.
+func Allocate(cfg machine.Config, job Job, envelopePerCore float64) Decision {
+	d := Decision{Job: job, PerCorePower: map[int]float64{}}
+	if job.N < 1 {
+		d.Reason = "empty job"
+		return d
+	}
+	cap := CapPerCore(cfg, job.PowerPerProc, envelopePerCore)
+	d.ThreadsPerCoreCap = cap
+	if cap == 0 {
+		d.Reason = fmt.Sprintf("one process (P≤%.3g) already exceeds the %.3g envelope",
+			job.PowerPerProc, envelopePerCore)
+		return d
+	}
+	cores := cfg.NumCores()
+	if job.N > cap*cores {
+		d.Reason = fmt.Sprintf("need %d slots but machine offers %d cores × %d = %d under the envelope",
+			job.N, cores, cap, cap*cores)
+		return d
+	}
+
+	d.Feasible = true
+	d.Placement = make(core.Placement, job.N)
+	perCore := make([]int, cores)
+	// On heterogeneous machines, visit faster processors first: local
+	// operations finish sooner there at the same hardware-thread count
+	// (power rises as mult³, but the envelope accounting here uses the
+	// caller's per-process estimate either way). Order is stable for
+	// equal speeds, so homogeneous machines keep the 0,1,2,… layout.
+	order := make([]int, cores)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cfg.CoreMult(order[a]) > cfg.CoreMult(order[b])
+	})
+	place := func(i, c int) {
+		th := machine.ThreadID(c*cfg.ThreadsPerCore + perCore[c])
+		d.Placement[i] = th
+		perCore[c]++
+		d.PerCorePower[c] += job.PowerPerProc
+	}
+	switch job.Dist {
+	case core.IntraProc:
+		idx := 0
+		for i := 0; i < job.N; i++ {
+			for perCore[order[idx]] >= cap {
+				idx++
+			}
+			place(i, order[idx])
+		}
+	case core.InterProc:
+		idx := 0
+		for i := 0; i < job.N; i++ {
+			for perCore[order[idx]] >= cap {
+				idx = (idx + 1) % cores
+			}
+			place(i, order[idx])
+			idx = (idx + 1) % cores
+		}
+	default:
+		panic(fmt.Sprintf("sched: unknown distribution %d", job.Dist))
+	}
+	for _, n := range perCore {
+		if n > 0 {
+			d.CoresUsed++
+		}
+	}
+	d.Reason = fmt.Sprintf("placed %d processes on %d core(s), ≤%d per core",
+		job.N, d.CoresUsed, cap)
+	return d
+}
+
+// Verify re-checks a decision against the envelope; it returns an error
+// if any core's estimated power exceeds it (a safety net for
+// hand-written placements).
+func Verify(cfg machine.Config, d Decision, envelopePerCore float64) error {
+	if !d.Feasible {
+		return nil
+	}
+	perCore := map[int]float64{}
+	perThread := map[machine.ThreadID]int{}
+	for _, th := range d.Placement {
+		perCore[cfg.CoreOf(th)] += d.Job.PowerPerProc
+		perThread[th]++
+		if perThread[th] > 1 {
+			return fmt.Errorf("sched: thread %d assigned %d processes", th, perThread[th])
+		}
+	}
+	if envelopePerCore > 0 {
+		for c, p := range perCore {
+			if p > envelopePerCore+1e-9 {
+				return fmt.Errorf("sched: core %d at %.3g exceeds envelope %.3g", c, p, envelopePerCore)
+			}
+		}
+	}
+	return nil
+}
+
+// Choose picks a distribution for the job: intra_proc when the whole
+// job fits under the envelope on one processor (fastest communication,
+// the paper's stated preference), otherwise inter_proc to spread power
+// across processors; it returns the winning decision.
+func Choose(cfg machine.Config, job Job, envelopePerCore float64) Decision {
+	intra := job
+	intra.Dist = core.IntraProc
+	di := Allocate(cfg, intra, envelopePerCore)
+	if di.Feasible && di.CoresUsed == 1 {
+		di.Reason = "intra_proc: whole job fits one processor under the envelope; " + di.Reason
+		return di
+	}
+	inter := job
+	inter.Dist = core.InterProc
+	de := Allocate(cfg, inter, envelopePerCore)
+	if de.Feasible {
+		de.Reason = "inter_proc: spreading to stay within per-processor power; " + de.Reason
+		return de
+	}
+	if di.Feasible {
+		di.Reason = "intra_proc (multi-core packing): " + di.Reason
+		return di
+	}
+	return de
+}

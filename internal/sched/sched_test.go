@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/machine"
+)
+
+func TestCapPerCore(t *testing.T) {
+	cfg := machine.Niagara() // 4 threads/core
+	if got := CapPerCore(cfg, 5, 15); got != 3 {
+		t.Fatalf("cap = %d, want 3 (envelope 15 / power 5)", got)
+	}
+	if got := CapPerCore(cfg, 5, 100); got != 4 {
+		t.Fatalf("cap = %d, want 4 (hardware bound)", got)
+	}
+	if got := CapPerCore(cfg, 5, 0); got != 4 {
+		t.Fatalf("cap = %d, want 4 (no envelope)", got)
+	}
+	if got := CapPerCore(cfg, 5, 4); got != 0 {
+		t.Fatalf("cap = %d, want 0 (one proc too hot)", got)
+	}
+}
+
+func TestPaperJacobiDecision(t *testing.T) {
+	// §4: power bound (x+y)w_int = 5, envelope 3(x+y)w_int = 15 ⇒
+	// at most 3 of a Niagara core's 4 threads may run Jacobi.
+	j := cost.Jacobi{N: 64, X: 2, Y: 3, WInt: 1}
+	cfg := machine.Niagara()
+	job := Job{Name: "jacobi", N: 4, PowerPerProc: j.PowerBound(), Dist: core.IntraProc}
+	d := Allocate(cfg, job, j.PaperEnvelope())
+	if !d.Feasible {
+		t.Fatalf("infeasible: %s", d.Reason)
+	}
+	if d.ThreadsPerCoreCap != 3 {
+		t.Fatalf("cap = %d, want 3 (the paper's decision)", d.ThreadsPerCoreCap)
+	}
+	if d.CoresUsed != 2 {
+		t.Fatalf("4 procs with cap 3 should use 2 cores, used %d", d.CoresUsed)
+	}
+	if err := Verify(cfg, d, j.PaperEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraPacksMinimumCores(t *testing.T) {
+	cfg := machine.Niagara()
+	d := Allocate(cfg, Job{N: 7, PowerPerProc: 1, Dist: core.IntraProc}, 0)
+	if !d.Feasible || d.CoresUsed != 2 {
+		t.Fatalf("7 procs, 4 threads/core: cores used = %d, want 2 (%s)", d.CoresUsed, d.Reason)
+	}
+	// First four members share core 0.
+	for i := 0; i < 4; i++ {
+		if cfg.CoreOf(d.Placement[i]) != 0 {
+			t.Fatalf("member %d on core %d", i, cfg.CoreOf(d.Placement[i]))
+		}
+	}
+}
+
+func TestInterSpreadsAllCores(t *testing.T) {
+	cfg := machine.Niagara()
+	d := Allocate(cfg, Job{N: 8, PowerPerProc: 1, Dist: core.InterProc}, 0)
+	if !d.Feasible || d.CoresUsed != 8 {
+		t.Fatalf("cores used = %d, want 8", d.CoresUsed)
+	}
+}
+
+func TestInfeasibleWhenTooHot(t *testing.T) {
+	cfg := machine.Niagara()
+	d := Allocate(cfg, Job{N: 1, PowerPerProc: 20, Dist: core.IntraProc}, 10)
+	if d.Feasible {
+		t.Fatal("over-hot process placed anyway")
+	}
+	if d.Reason == "" {
+		t.Fatal("no reason given")
+	}
+}
+
+func TestInfeasibleWhenMachineFull(t *testing.T) {
+	cfg := machine.Niagara() // 32 threads
+	d := Allocate(cfg, Job{N: 33, PowerPerProc: 0.1, Dist: core.InterProc}, 0)
+	if d.Feasible {
+		t.Fatal("oversized job placed")
+	}
+}
+
+func TestEnvelopeSweepMatchesCostModel(t *testing.T) {
+	// Sweeping the envelope, the allocator's per-core cap must equal
+	// the cost model's MaxThreadsUnderEnvelope (up to the hardware
+	// bound) — the closed loop between model and allocator.
+	j := cost.Jacobi{N: 32, X: 2, Y: 3, WInt: 1}
+	cfg := machine.Niagara()
+	for mult := 1; mult <= 8; mult++ {
+		env := float64(mult) * (j.X + j.Y) * j.WInt
+		want := j.MaxThreadsUnderEnvelope(env)
+		if want > cfg.ThreadsPerCore {
+			want = cfg.ThreadsPerCore
+		}
+		got := CapPerCore(cfg, j.PowerBound(), env)
+		if got != want {
+			t.Fatalf("envelope %g: cap %d, model %d", env, got, want)
+		}
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	cfg := machine.Niagara()
+	bad := Decision{
+		Job:      Job{N: 2, PowerPerProc: 10},
+		Feasible: true,
+		// both on core 0 → 20 > envelope 15
+		Placement: core.Placement{0, 1},
+	}
+	if err := Verify(cfg, bad, 15); err == nil {
+		t.Fatal("verify missed envelope violation")
+	}
+	dup := Decision{
+		Job:       Job{N: 2, PowerPerProc: 1},
+		Feasible:  true,
+		Placement: core.Placement{3, 3},
+	}
+	if err := Verify(cfg, dup, 0); err == nil {
+		t.Fatal("verify missed duplicate thread assignment")
+	}
+}
+
+func TestChoosePrefersIntraWhenItFits(t *testing.T) {
+	cfg := machine.Niagara()
+	d := Choose(cfg, Job{N: 3, PowerPerProc: 5}, 15)
+	if !d.Feasible || d.Job.Dist != core.IntraProc || d.CoresUsed != 1 {
+		t.Fatalf("choose: %+v (%s)", d.Job.Dist, d.Reason)
+	}
+}
+
+func TestChooseFallsBackToInter(t *testing.T) {
+	cfg := machine.Niagara()
+	// 4 procs at power 5 under envelope 15: cap 3 → intra needs 2
+	// cores → prefer inter spreading.
+	d := Choose(cfg, Job{N: 4, PowerPerProc: 5}, 15)
+	if !d.Feasible || d.Job.Dist != core.InterProc {
+		t.Fatalf("choose picked %v (%s)", d.Job.Dist, d.Reason)
+	}
+	if d.CoresUsed != 4 {
+		t.Fatalf("inter fallback used %d cores", d.CoresUsed)
+	}
+}
+
+func TestChooseInfeasibleReported(t *testing.T) {
+	cfg := machine.SingleCore()
+	d := Choose(cfg, Job{N: 2, PowerPerProc: 100}, 1)
+	if d.Feasible {
+		t.Fatal("impossible job reported feasible")
+	}
+}
+
+func TestAllocationAlwaysVerifiesQuick(t *testing.T) {
+	cfg := machine.Generic()
+	f := func(n8, p8, e8 uint8, inter bool) bool {
+		n := 1 + int(n8)%40
+		p := 0.5 + float64(p8%40)/4
+		env := float64(e8%64) / 2 // may be 0 = unlimited
+		dist := core.IntraProc
+		if inter {
+			dist = core.InterProc
+		}
+		d := Allocate(cfg, Job{N: n, PowerPerProc: p, Dist: dist}, env)
+		if !d.Feasible {
+			return true
+		}
+		if len(d.Placement) != n {
+			return false
+		}
+		return Verify(cfg, d, env) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyJob(t *testing.T) {
+	d := Allocate(machine.Niagara(), Job{N: 0}, 0)
+	if d.Feasible {
+		t.Fatal("empty job feasible")
+	}
+}
+
+func TestHeterogeneousAllocationPrefersFastCores(t *testing.T) {
+	// big.LITTLE: cores 0-1 fast, 2-7 slow — but scramble with
+	// WithCoreFreq so the fastest cores are NOT the lowest-numbered.
+	freq := []float64{0.5, 0.5, 2, 2, 1, 1, 1, 1}
+	cfg := machine.Niagara().WithCoreFreq(freq)
+	d := Allocate(cfg, Job{N: 6, PowerPerProc: 1, Dist: core.IntraProc}, 0)
+	if !d.Feasible {
+		t.Fatalf("infeasible: %s", d.Reason)
+	}
+	// First four processes pack the fastest core (2), next two core 3.
+	for i := 0; i < 4; i++ {
+		if got := cfg.CoreOf(d.Placement[i]); got != 2 {
+			t.Fatalf("member %d on core %d, want fastest core 2", i, got)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if got := cfg.CoreOf(d.Placement[i]); got != 3 {
+			t.Fatalf("member %d on core %d, want core 3", i, got)
+		}
+	}
+	if err := Verify(cfg, d, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeterogeneousInterSpreadStartsFast(t *testing.T) {
+	freq := []float64{1, 1, 1, 1, 1, 1, 4, 4}
+	cfg := machine.Niagara().WithCoreFreq(freq)
+	d := Allocate(cfg, Job{N: 2, PowerPerProc: 1, Dist: core.InterProc}, 0)
+	if !d.Feasible {
+		t.Fatal(d.Reason)
+	}
+	c0, c1 := cfg.CoreOf(d.Placement[0]), cfg.CoreOf(d.Placement[1])
+	if c0 != 6 || c1 != 7 {
+		t.Fatalf("spread went to cores %d,%d; want the fast 6,7", c0, c1)
+	}
+}
+
+func TestHomogeneousLayoutUnchangedByOrdering(t *testing.T) {
+	// Stable sort on equal speeds keeps the canonical 0,1,2,… layout.
+	cfg := machine.Niagara()
+	d := Allocate(cfg, Job{N: 5, PowerPerProc: 1, Dist: core.IntraProc}, 0)
+	for i := 0; i < 4; i++ {
+		if cfg.CoreOf(d.Placement[i]) != 0 {
+			t.Fatalf("member %d not on core 0", i)
+		}
+	}
+	if cfg.CoreOf(d.Placement[4]) != 1 {
+		t.Fatal("overflow member not on core 1")
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Simulated processes are goroutines, but the kernel enforces strictly
+// sequential execution: at any instant either the kernel or exactly one
+// process goroutine runs, with control transferred by channel handoff.
+// Virtual time is an int64 tick counter; events are dispatched in
+// (time, sequence) order, so every run of the same program is
+// bit-for-bit reproducible regardless of host scheduling.
+//
+// The kernel knows nothing about machines, energy or the STAMP model; it
+// provides only time, processes, wait queues and timer callbacks. Higher
+// layers (internal/machine, internal/core, ...) charge model costs by
+// calling Proc.Hold and by keeping their own counters.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual simulation time in ticks. One tick is one "local
+// operation" in the STAMP model's terms.
+type Time int64
+
+// Infinity is a time larger than any schedulable event time.
+const Infinity Time = 1<<62 - 1
+
+// eventKind discriminates the queue entries the kernel dispatches.
+type eventKind uint8
+
+const (
+	evWake  eventKind = iota // resume a parked or held process
+	evCall                   // run a kernel-context callback
+	evStart                  // first activation of a spawned process
+)
+
+type event struct {
+	at   Time
+	seq  int64 // tie-break: FIFO among same-time events
+	kind eventKind
+	proc *Proc  // evWake, evStart
+	fn   func() // evCall
+}
+
+// Kernel is a discrete-event simulator instance. The zero value is not
+// usable; call NewKernel.
+type Kernel struct {
+	now    Time
+	seq    int64
+	events eventHeap
+
+	procs   []*Proc
+	live    int // spawned and not yet finished
+	yield   chan yieldMsg
+	nextID  int
+	running bool
+
+	// MaxEvents bounds the number of dispatched events; 0 means no
+	// bound. Exceeding it makes Run return ErrEventLimit.
+	MaxEvents  int64
+	dispatched int64
+}
+
+// yieldMsg is what a process goroutine hands back to the kernel when it
+// gives up control.
+type yieldMsg struct {
+	p    *Proc
+	done bool
+	err  error
+}
+
+// NewKernel returns an empty simulator positioned at time 0.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan yieldMsg),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Procs returns all processes ever spawned on the kernel, in spawn order.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// push schedules an event; at must be >= k.now.
+func (k *Kernel) push(at Time, kind eventKind, p *Proc, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, kind: kind, proc: p, fn: fn})
+}
+
+// Spawn creates a new process named name running fn and schedules its
+// first activation at the current time. It may be called before Run or
+// from inside a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateNew,
+		fn:     fn,
+	}
+	k.nextID++
+	k.procs = append(k.procs, p)
+	k.live++
+	k.push(k.now, evStart, p, nil)
+	return p
+}
+
+// Schedule runs fn in kernel context after delay d. fn must not block;
+// it may spawn processes, signal wait queues and schedule further
+// callbacks.
+func (k *Kernel) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.push(k.now+d, evCall, nil, fn)
+}
+
+// ErrDeadlock is returned by Run when live processes remain but no event
+// can ever wake them.
+type ErrDeadlock struct {
+	At      Time
+	Blocked []string // names of blocked processes
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d; blocked: %s", e.At, strings.Join(e.Blocked, ", "))
+}
+
+// ErrEventLimit is returned by Run when MaxEvents is exceeded.
+type ErrEventLimit struct{ Limit int64 }
+
+func (e *ErrEventLimit) Error() string {
+	return fmt.Sprintf("sim: event limit %d exceeded", e.Limit)
+}
+
+// ProcPanic wraps a panic raised inside a process body.
+type ProcPanic struct {
+	Proc  string
+	Value any
+}
+
+func (e *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", e.Proc, e.Value)
+}
+
+// Run dispatches events until no process remains live and the event
+// queue is empty, and returns nil; or returns the first error:
+// a process panic, a deadlock, or the event limit.
+func (k *Kernel) Run() error {
+	if k.running {
+		panic("sim: Kernel.Run is not reentrant")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for {
+		if k.events.Len() == 0 {
+			if k.live == 0 {
+				return nil
+			}
+			return &ErrDeadlock{At: k.now, Blocked: k.blockedNames()}
+		}
+		ev := heap.Pop(&k.events).(*event)
+		k.dispatched++
+		if k.MaxEvents > 0 && k.dispatched > k.MaxEvents {
+			return &ErrEventLimit{Limit: k.MaxEvents}
+		}
+		k.now = ev.at
+
+		switch ev.kind {
+		case evCall:
+			ev.fn()
+		case evStart:
+			p := ev.proc
+			p.state = stateRunning
+			go p.run()
+			if err := k.waitYield(p); err != nil {
+				return err
+			}
+		case evWake:
+			p := ev.proc
+			if p.state == stateDone {
+				break // stale wake after completion: ignore
+			}
+			if p.state != stateWaiting {
+				panic(fmt.Sprintf("sim: wake of process %q in state %v", p.name, p.state))
+			}
+			p.state = stateRunning
+			p.resume <- struct{}{}
+			if err := k.waitYield(p); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// waitYield blocks until process p gives control back, handling
+// completion and panics.
+func (k *Kernel) waitYield(p *Proc) error {
+	m := <-k.yield
+	if m.p != p {
+		panic("sim: yield from unexpected process")
+	}
+	if m.done {
+		p.state = stateDone
+		k.live--
+		if m.err != nil {
+			return m.err
+		}
+		// Wake anyone joined on p.
+		p.joiners.broadcastLocked(k)
+		return nil
+	}
+	return nil
+}
+
+// blockedNames lists live processes for deadlock reports,
+// alphabetically for stable output.
+func (k *Kernel) blockedNames() []string {
+	var names []string
+	for _, p := range k.procs {
+		if p.state == stateWaiting {
+			names = append(names, fmt.Sprintf("%s(id=%d)", p.name, p.id))
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestEmptyKernelRuns(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(); err != nil {
+		t.Fatalf("empty kernel: %v", err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("time advanced with no events: %d", k.Now())
+	}
+}
+
+func TestSingleProcHoldAdvancesTime(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(10)
+		p.Hold(5)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 15 {
+		t.Fatalf("end time = %d, want 15", end)
+	}
+	if k.Now() != 15 {
+		t.Fatalf("kernel time = %d, want 15", k.Now())
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var trace []string
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Hold(Time(i + 1))
+					trace = append(trace, fmt.Sprintf("p%d@%d", i, p.Now()))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("trace length %d, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic trace at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			p.Hold(7) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleCallback(t *testing.T) {
+	k := NewKernel()
+	var fired Time = -1
+	k.Schedule(42, func() { fired = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 42 {
+		t.Fatalf("callback at %d, want 42", fired)
+	}
+}
+
+func TestSpawnFromInsideProc(t *testing.T) {
+	k := NewKernel()
+	var childEnd Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Hold(10)
+		child := k.Spawn("child", func(c *Proc) {
+			c.Hold(5)
+			childEnd = c.Now()
+		})
+		p.Join(child)
+		if p.Now() != 15 {
+			t.Errorf("join returned at %d, want 15", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childEnd != 15 {
+		t.Fatalf("child ended at %d, want 15", childEnd)
+	}
+}
+
+func TestJoinDoneProcReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	done := k.Spawn("fast", func(p *Proc) {})
+	k.Spawn("joiner", func(p *Proc) {
+		p.Hold(100)
+		p.Join(done)
+		if p.Now() != 100 {
+			t.Errorf("join of done proc advanced time to %d", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	var q WaitQueue
+	k.Spawn("stuck", func(p *Proc) { q.Wait(p) })
+	err := k.Run()
+	var dl *ErrDeadlock
+	if !errors.As(err, &dl) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if len(dl.Blocked) != 1 {
+		t.Fatalf("blocked list: %v", dl.Blocked)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("boom", func(p *Proc) {
+		p.Hold(3)
+		panic("kapow")
+	})
+	err := k.Run()
+	var pp *ProcPanic
+	if !errors.As(err, &pp) {
+		t.Fatalf("want ProcPanic, got %v", err)
+	}
+	if pp.Proc != "boom" || pp.Value != "kapow" {
+		t.Fatalf("panic detail: %+v", pp)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel()
+	k.MaxEvents = 100
+	k.Spawn("spin", func(p *Proc) {
+		for {
+			p.Hold(1)
+		}
+	})
+	err := k.Run()
+	var el *ErrEventLimit
+	if !errors.As(err, &el) {
+		t.Fatalf("want ErrEventLimit, got %v", err)
+	}
+}
+
+func TestWaitQueueSignalFIFO(t *testing.T) {
+	k := NewKernel()
+	var q WaitQueue
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	k.Spawn("waker", func(p *Proc) {
+		p.Hold(1)
+		for q.Len() > 0 {
+			q.Signal(k)
+			p.Hold(1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitQueueBroadcast(t *testing.T) {
+	k := NewKernel()
+	var q WaitQueue
+	woken := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			q.Wait(p)
+			woken++
+		})
+	}
+	k.Spawn("b", func(p *Proc) {
+		p.Hold(1)
+		if n := q.Broadcast(k); n != 5 {
+			t.Errorf("broadcast woke %d, want 5", n)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestHoldZeroYields(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+func TestNegativeHoldPanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bad", func(p *Proc) { p.Hold(-1) })
+	err := k.Run()
+	var pp *ProcPanic
+	if !errors.As(err, &pp) {
+		t.Fatalf("want ProcPanic from negative hold, got %v", err)
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	k := NewKernel()
+	p0 := k.Spawn("first", func(p *Proc) {})
+	p1 := k.Spawn("second", func(p *Proc) {})
+	if p0.ID() != 0 || p1.ID() != 1 {
+		t.Fatalf("ids: %d, %d", p0.ID(), p1.ID())
+	}
+	if p0.Name() != "first" || p1.Name() != "second" {
+		t.Fatalf("names: %q, %q", p0.Name(), p1.Name())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p0.Done() || !p1.Done() {
+		t.Fatal("procs not done after Run")
+	}
+}

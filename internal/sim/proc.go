@@ -1,0 +1,103 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	stateNew procState = iota
+	stateRunning
+	stateWaiting
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunning:
+		return "running"
+	case stateWaiting:
+		return "waiting"
+	case stateDone:
+		return "done"
+	}
+	return fmt.Sprintf("procState(%d)", uint8(s))
+}
+
+// Proc is a simulated process. All its methods must be called only from
+// the goroutine running the process body (the kernel guarantees only one
+// such goroutine is active at a time), except ID, Name and Done which
+// are safe anywhere the kernel is quiescent.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+	state  procState
+	fn     func(p *Proc)
+
+	joiners WaitQueue // processes blocked in Join on this one
+
+	// Ctx is an arbitrary per-process slot for higher layers (the
+	// STAMP core attaches its accounting context here).
+	Ctx any
+}
+
+// ID returns the process's kernel-assigned identifier (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Kernel returns the kernel the process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// run is the goroutine body wrapper: it executes fn and reports
+// completion (or panic) to the kernel.
+func (p *Proc) run() {
+	defer func() {
+		var err error
+		if r := recover(); r != nil {
+			err = &ProcPanic{Proc: p.name, Value: r}
+		}
+		p.k.yield <- yieldMsg{p: p, done: true, err: err}
+	}()
+	p.fn(p)
+}
+
+// Hold advances the process's local time by d ticks: it schedules a wake
+// at now+d and blocks until dispatched. Hold(0) yields to same-time
+// events already queued.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		panic("sim: Hold with negative duration")
+	}
+	p.k.push(p.k.now+d, evWake, p, nil)
+	p.park()
+}
+
+// park blocks the process until the kernel resumes it.
+func (p *Proc) park() {
+	p.state = stateWaiting
+	p.k.yield <- yieldMsg{p: p}
+	<-p.resume
+}
+
+// Join blocks until other's body has returned. Joining an already-done
+// process returns immediately.
+func (p *Proc) Join(other *Proc) {
+	if other.state == stateDone {
+		return
+	}
+	other.joiners.Wait(p)
+}
+
+// Yield gives other same-time events a chance to run before p continues.
+func (p *Proc) Yield() { p.Hold(0) }

@@ -1,0 +1,171 @@
+package sim
+
+import "testing"
+
+func TestBarrierReleasesAllAtOnce(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 4)
+	var releaseTimes []Time
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			p.Hold(Time(10 * (i + 1))) // arrive at 10, 20, 30, 40
+			b.Await(p)
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(releaseTimes) != 4 {
+		t.Fatalf("released %d, want 4", len(releaseTimes))
+	}
+	for _, rt := range releaseTimes {
+		if rt != 40 {
+			t.Fatalf("release at %d, want 40 (last arrival)", rt)
+		}
+	}
+	if b.Generation() != 1 {
+		t.Fatalf("generation %d, want 1", b.Generation())
+	}
+}
+
+func TestBarrierIsReusable(t *testing.T) {
+	k := NewKernel()
+	const parties, phases = 3, 5
+	b := NewBarrier(k, parties)
+	counts := make([]int, phases)
+	for i := 0; i < parties; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			for ph := 0; ph < phases; ph++ {
+				p.Hold(Time(i + 1))
+				b.Await(p)
+				counts[ph]++
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for ph, c := range counts {
+		if c != parties {
+			t.Fatalf("phase %d count %d, want %d", ph, c, parties)
+		}
+	}
+	if b.Generation() != phases {
+		t.Fatalf("generation %d, want %d", b.Generation(), phases)
+	}
+}
+
+func TestBarrierLastArriverTrips(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 2)
+	var tripped []string
+	k.Spawn("early", func(p *Proc) {
+		if b.Await(p) {
+			tripped = append(tripped, "early")
+		}
+	})
+	k.Spawn("late", func(p *Proc) {
+		p.Hold(5)
+		if b.Await(p) {
+			tripped = append(tripped, "late")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tripped) != 1 || tripped[0] != "late" {
+		t.Fatalf("tripped = %v, want [late]", tripped)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, 2)
+	inside, maxInside := 0, 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("p", func(p *Proc) {
+			s.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Hold(10)
+			inside--
+			s.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 2 {
+		t.Fatalf("max concurrent holders %d, want 2", maxInside)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("end time %d, want 30 (3 batches of 10)", k.Now())
+	}
+	if s.Available() != 2 {
+		t.Fatalf("permits %d, want 2", s.Available())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, 1)
+	k.Spawn("p", func(p *Proc) {
+		if !s.TryAcquire() {
+			t.Error("first TryAcquire failed")
+		}
+		if s.TryAcquire() {
+			t.Error("second TryAcquire succeeded")
+		}
+		s.Release()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k)
+	counter := 0
+	for i := 0; i < 8; i++ {
+		k.Spawn("p", func(p *Proc) {
+			m.Lock(p)
+			v := counter
+			p.Hold(3) // a non-atomic read-modify-write window
+			counter = v + 1
+			m.Unlock(p)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 8 {
+		t.Fatalf("counter %d, want 8 (lost update)", counter)
+	}
+	if m.Locked() {
+		t.Fatal("mutex still held after Run")
+	}
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k)
+	k.Spawn("owner", func(p *Proc) {
+		m.Lock(p)
+		p.Hold(10)
+		m.Unlock(p)
+	})
+	k.Spawn("thief", func(p *Proc) {
+		p.Hold(1)
+		m.Unlock(p)
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("unlock by non-owner did not error")
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+// WaitQueue is a FIFO queue of parked processes. It is the building
+// block for condition-style blocking (mailboxes, barriers, memory-bank
+// queues, transaction retry lists). The zero value is ready to use.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Len returns the number of parked processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait parks p on the queue until a Signal or Broadcast releases it.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any, scheduling its
+// resumption at the current time. It reports whether a process was woken.
+// Signal is safe from process bodies and kernel callbacks alike.
+func (q *WaitQueue) Signal(k *Kernel) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters[len(q.waiters)-1] = nil
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	k.push(k.now, evWake, p, nil)
+	return true
+}
+
+// Broadcast wakes every parked process in FIFO order and returns the
+// number woken.
+func (q *WaitQueue) Broadcast(k *Kernel) int {
+	n := len(q.waiters)
+	for _, p := range q.waiters {
+		k.push(k.now, evWake, p, nil)
+	}
+	for i := range q.waiters {
+		q.waiters[i] = nil
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}
+
+// broadcastLocked is Broadcast for kernel-internal use (process
+// completion wakes joiners).
+func (q *WaitQueue) broadcastLocked(k *Kernel) { q.Broadcast(k) }

@@ -1,0 +1,86 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness uses to summarize measured series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the usual five-number-ish description of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	Geomean   float64 // 0 if any value ≤ 0
+}
+
+// Summarize computes a Summary of xs. An empty sample yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	if s.N%2 == 1 {
+		s.Median = sorted[s.N/2]
+	} else {
+		s.Median = (sorted[s.N/2-1] + sorted[s.N/2]) / 2
+	}
+	var sum float64
+	logOK := true
+	var logSum float64
+	for _, x := range xs {
+		sum += x
+		if x <= 0 {
+			logOK = false
+		} else {
+			logSum += math.Log(x)
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if logOK {
+		s.Geomean = math.Exp(logSum / float64(s.N))
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// String renders a compact summary line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Ratio returns a/b, or 0 when b is 0 (for speedup columns).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// RelErr returns |measured−predicted| / |predicted| (0 when the
+// prediction is 0), the accuracy column of the prediction tables.
+func RelErr(measured, predicted float64) float64 {
+	if predicted == 0 {
+		return 0
+	}
+	return math.Abs(measured-predicted) / math.Abs(predicted)
+}

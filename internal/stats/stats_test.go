@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Median != 5 || s.Min != 5 || s.Max != 5 || s.Std != 0 {
+		t.Fatalf("single summary: %+v", s)
+	}
+	if s.Geomean != 5 {
+		t.Fatalf("geomean %g", s.Geomean)
+	}
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean %g", s.Mean)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median %g", s.Median)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max %g/%g", s.Min, s.Max)
+	}
+	// Sample std of this classic sample is sqrt(32/7).
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std %g", s.Std)
+	}
+}
+
+func TestMedianOddLength(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("median %g", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestGeomeanZeroWithNonPositive(t *testing.T) {
+	if s := Summarize([]float64{1, 0, 4}); s.Geomean != 0 {
+		t.Fatalf("geomean with zero input: %g", s.Geomean)
+	}
+	if s := Summarize([]float64{2, 8}); math.Abs(s.Geomean-4) > 1e-12 {
+		t.Fatalf("geomean of {2,8}: %g", s.Geomean)
+	}
+}
+
+func TestMeanBoundsQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.Median && s.Median <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Fatal("zero denominator not handled")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Fatalf("relerr %g", RelErr(110, 100))
+	}
+	if RelErr(90, 100) != 0.1 {
+		t.Fatalf("relerr %g", RelErr(90, 100))
+	}
+	if RelErr(5, 0) != 0 {
+		t.Fatal("zero prediction not handled")
+	}
+	if RelErr(-110, -100) != 0.1 {
+		t.Fatalf("negative relerr %g", RelErr(-110, -100))
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1, 2, 3}).String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,588 @@
+// Package stm implements the transactional-execution substrate of the
+// STAMP model (trans_exec): an object-granular software transactional
+// memory in the style of DSTM (Herlihy et al., cited as [13] in the
+// paper), with optimistic execution, eager write ownership, lazy read
+// validation, pluggable contention management (Scherer & Scott, [23])
+// and closed-nested subtransactions (the banking example's withdraw/
+// deposit). Aborts are rollbacks: they are counted into the same κ
+// parameter the paper's cost formulas use, and the speculative work of
+// an aborted attempt dissipates real (model) time and energy.
+package stm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Agent is the executing process as the STM sees it (the STAMP core's
+// execution context implements it).
+type Agent interface {
+	Proc() *sim.Proc
+	Thread() machine.ThreadID
+	Counters() *energy.Counters
+	HoldCost(ticks float64)
+}
+
+// STM is the transactional memory of one simulated machine. Transactional
+// data lives at chip level, so every access is charged at inter-processor
+// shared-memory cost (ℓ_e, g_sh_e).
+type STM struct {
+	m       *machine.Machine
+	Manager ContentionManager
+
+	// Trace, when non-nil, receives a line per notable transactional
+	// event (conflicts, aborts, commits) for debugging and analysis.
+	Trace func(format string, args ...any)
+
+	birthSeq uint64
+	commits  int64
+	aborts   int64
+
+	// commitWaiters holds processes blocked in a Retry; every commit
+	// broadcasts them awake.
+	commitWaiters sim.WaitQueue
+}
+
+// New creates an STM over machine m with contention manager mgr
+// (Passive if nil).
+func New(m *machine.Machine, mgr ContentionManager) *STM {
+	if mgr == nil {
+		mgr = Passive{}
+	}
+	return &STM{m: m, Manager: mgr}
+}
+
+// Commits returns the number of committed top-level transactions.
+func (s *STM) Commits() int64 { return s.commits }
+
+// Aborts returns the number of aborted attempts (rollbacks), the
+// measured contribution to the model's κ.
+func (s *STM) Aborts() int64 { return s.aborts }
+
+// AbortRate returns aborts / (aborts + commits), or 0 with no traffic.
+func (s *STM) AbortRate() float64 {
+	tot := s.commits + s.aborts
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.aborts) / float64(tot)
+}
+
+// tvar is the type-erased view of a TVar that transactions manipulate.
+type tvar interface {
+	varName() string
+	ver() uint64
+	ownerTx() *Tx
+	// releaseFrom discards tx's buffered write and clears ownership;
+	// the committed value is untouched.
+	releaseFrom(tx *Tx)
+	// commitFrom publishes tx's buffered write, bumps the version and
+	// clears ownership.
+	commitFrom(tx *Tx)
+	// reassign transfers ownership (nested commit: child → parent).
+	reassign(from, to *Tx)
+}
+
+// TVar is a transactional variable of type T.
+type TVar[T any] struct {
+	s       *STM
+	name    string
+	val     T // committed value
+	pending T // owner's buffered write
+	version uint64
+	owner   *Tx
+}
+
+// NewTVar allocates a transactional variable with an initial committed
+// value.
+func NewTVar[T any](s *STM, name string, init T) *TVar[T] {
+	return &TVar[T]{s: s, name: name, val: init}
+}
+
+// Value returns the committed value without simulation cost (for
+// initialization, invariant checks and tests).
+func (v *TVar[T]) Value() T { return v.val }
+
+// SetValue overwrites the committed value without cost (initialization
+// only; must not race with active transactions).
+func (v *TVar[T]) SetValue(x T) { v.val = x }
+
+// Version returns the commit version, which counts successful
+// transactional writes.
+func (v *TVar[T]) Version() uint64 { return v.version }
+
+func (v *TVar[T]) varName() string { return v.name }
+func (v *TVar[T]) ver() uint64     { return v.version }
+func (v *TVar[T]) ownerTx() *Tx    { return v.owner }
+
+func (v *TVar[T]) releaseFrom(tx *Tx) {
+	if v.owner == tx {
+		var zero T
+		v.pending = zero
+		v.owner = nil
+	}
+}
+
+func (v *TVar[T]) commitFrom(tx *Tx) {
+	if v.owner != tx {
+		panic(fmt.Sprintf("stm: commit of %s by non-owner", v.name))
+	}
+	v.val = v.pending
+	var zero T
+	v.pending = zero
+	v.version++
+	v.owner = nil
+}
+
+func (v *TVar[T]) reassign(from, to *Tx) {
+	if v.owner == from {
+		v.owner = to
+	}
+}
+
+// txState tracks a transaction through its lifetime.
+type txState uint8
+
+const (
+	txActive txState = iota
+	txAborted
+	txCommitted
+)
+
+// errAbort is the panic sentinel used to unwind an aborted transaction
+// body back to its retry loop.
+var errAbort = errors.New("stm: transaction aborted")
+
+// ErrNotAtomic is returned when a transactional op runs outside
+// Atomically.
+var ErrNotAtomic = errors.New("stm: operation outside a transaction")
+
+// Tx is one transaction attempt. Get/Set/Nested must only be called
+// from inside the body passed to Atomically (same simulated process).
+type Tx struct {
+	s      *STM
+	agent  Agent
+	parent *Tx // nil for top level
+	state  txState
+
+	birth   uint64 // age for Timestamp manager (inherited by children)
+	karma   int64  // ops performed, for the Karma manager
+	attempt int
+
+	readSet map[tvar]uint64 // version observed at first read
+	owned   []tvar          // vars this tx acquired (in order)
+	// savedPending remembers an ancestor's buffered value that this
+	// (nested) tx overwrote, for restoration on child abort.
+	savedPending map[tvar]func()
+}
+
+// newTx creates an attempt. Top-level retries of one logical operation
+// share a birth stamp (so the Timestamp/Greedy manager's oldest-wins
+// guarantee holds across retries) and carry the karma accumulated by
+// aborted attempts (so the Karma manager's priority actually grows with
+// wasted work, per Scherer & Scott).
+func (s *STM) newTx(a Agent, parent *Tx, attempt int, birth uint64, karma int64) *Tx {
+	tx := &Tx{
+		s:       s,
+		agent:   a,
+		parent:  parent,
+		attempt: attempt,
+		readSet: make(map[tvar]uint64),
+	}
+	if parent != nil {
+		tx.birth = parent.birth
+		tx.karma = parent.karma
+	} else {
+		tx.birth = birth
+		tx.karma = karma
+	}
+	return tx
+}
+
+// nextBirth allocates an age stamp for a new logical transaction.
+func (s *STM) nextBirth() uint64 {
+	s.birthSeq++
+	return s.birthSeq
+}
+
+// Attempt returns the 1-based retry attempt of this transaction.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+// Birth returns the transaction's age stamp (smaller = older).
+func (tx *Tx) Birth() uint64 { return tx.birth }
+
+// Karma returns the work-based priority used by the Karma manager.
+func (tx *Tx) Karma() int64 { return tx.karma }
+
+// chainAborted reports whether this tx or any ancestor has been
+// aborted.
+func (tx *Tx) chainAborted() bool {
+	for t := tx; t != nil; t = t.parent {
+		if t.state == txAborted {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAlive unwinds if a contention manager has aborted this tx (or an
+// ancestor) while it was running (zombie execution).
+func (tx *Tx) checkAlive() {
+	if tx.chainAborted() {
+		panic(errAbort)
+	}
+}
+
+// chargeAccess charges one transactional memory access (inter-processor
+// class) and bumps karma.
+func (tx *Tx) chargeAccess(write bool) {
+	c := tx.s.m.Cfg.Costs
+	tx.agent.Proc().Hold(c.EllE)
+	tx.agent.HoldCost(c.GShE)
+	if write {
+		tx.agent.Counters().WritesInter++
+	} else {
+		tx.agent.Counters().ReadsInter++
+	}
+	tx.karma++
+}
+
+// isAncestorOwner reports whether v's owner is tx or one of its
+// ancestors, returning that owner.
+func (tx *Tx) isAncestorOwner(v tvar) (*Tx, bool) {
+	o := v.ownerTx()
+	if o == nil {
+		return nil, false
+	}
+	for t := tx; t != nil; t = t.parent {
+		if t == o {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+// resolveConflict arbitrates between tx (attacker) and the active owner
+// of a variable (victim). Either the victim is aborted and tx proceeds,
+// or tx aborts itself (unwinding via panic).
+func (tx *Tx) resolveConflict(victim *Tx) {
+	if tx.s.Manager.Resolve(tx, victim) {
+		if tx.s.Trace != nil {
+			tx.s.Trace("t=%d conflict: attacker(b=%d,a=%d,k=%d) kills victim(b=%d,a=%d,k=%d)",
+				tx.agent.Proc().Now(), tx.birth, tx.attempt, tx.karma, victim.birth, victim.attempt, victim.karma)
+		}
+		victim.forceAbort()
+		return
+	}
+	if tx.s.Trace != nil {
+		tx.s.Trace("t=%d conflict: attacker(b=%d,a=%d,k=%d) yields to victim(b=%d,a=%d,k=%d)",
+			tx.agent.Proc().Now(), tx.birth, tx.attempt, tx.karma, victim.birth, victim.attempt, victim.karma)
+	}
+	tx.abortSelf()
+}
+
+// forceAbort marks the victim aborted and releases everything it owns,
+// so the attacker can proceed immediately. The victim's goroutine will
+// unwind at its next transactional operation.
+func (tx *Tx) forceAbort() {
+	if tx.state != txActive {
+		return
+	}
+	tx.state = txAborted
+	tx.releaseAll()
+}
+
+// abortSelf unwinds the current attempt. The entire chain up to the
+// top-level transaction is rolled back: retrying only an inner child
+// while ancestors keep their acquisitions would preserve wait-for
+// cycles (deadlock disguised as livelock), so conflicts always restart
+// the whole transaction.
+func (tx *Tx) abortSelf() {
+	for t := tx; t != nil; t = t.parent {
+		t.state = txAborted
+		t.releaseAll()
+	}
+	panic(errAbort)
+}
+
+// releaseAll rolls back every acquisition of this tx: restore ancestor
+// buffers it overwrote and free vars it acquired.
+func (tx *Tx) releaseAll() {
+	for v, restore := range tx.savedPending {
+		_ = v
+		restore()
+	}
+	tx.savedPending = nil
+	for _, v := range tx.owned {
+		v.releaseFrom(tx)
+	}
+	tx.owned = nil
+}
+
+// Get reads v inside tx.
+func (v *TVar[T]) Get(tx *Tx) T {
+	if tx == nil {
+		panic(ErrNotAtomic)
+	}
+	tx.checkAlive()
+	tx.chargeAccess(false)
+	// The access charge yields virtual time; a contention manager may
+	// have force-aborted us meanwhile. Re-check before acting, or a
+	// zombie could resolve conflicts against innocent victims.
+	tx.checkAlive()
+	if owner, ok := tx.isAncestorOwner(v); ok {
+		_ = owner
+		return v.pending // our own (or an ancestor's) buffered write
+	}
+	if o := v.owner; o != nil {
+		tx.resolveConflict(o) // returns only if victim was aborted
+	}
+	if _, seen := tx.readSet[v]; !seen {
+		tx.readSet[v] = v.version
+	}
+	return v.val
+}
+
+// Set writes v inside tx (buffered until commit).
+func (v *TVar[T]) Set(tx *Tx, x T) {
+	if tx == nil {
+		panic(ErrNotAtomic)
+	}
+	tx.checkAlive()
+	tx.chargeAccess(true)
+	// Re-check after the yield: acquiring ownership as a zombie (after
+	// a force-abort already released this attempt) would leak the
+	// variable to a dead transaction forever.
+	tx.checkAlive()
+	if owner, ok := tx.isAncestorOwner(v); ok {
+		if owner != tx {
+			// Overwriting an ancestor's buffer: remember the old value
+			// so a child abort restores it.
+			if tx.savedPending == nil {
+				tx.savedPending = make(map[tvar]func())
+			}
+			if _, dup := tx.savedPending[v]; !dup {
+				old := v.pending
+				tx.savedPending[v] = func() { v.pending = old }
+			}
+		}
+		v.pending = x
+		return
+	}
+	if o := v.owner; o != nil {
+		tx.resolveConflict(o)
+	}
+	// Acquire fresh ownership. Record the pre-write version so commit
+	// validation catches a racing committed write between our earlier
+	// read (if any) and this acquisition.
+	if _, seen := tx.readSet[v]; !seen {
+		tx.readSet[v] = v.version
+	}
+	v.owner = tx
+	v.pending = x
+	tx.owned = append(tx.owned, v)
+}
+
+// Modify applies f to the current value of v inside tx.
+func (v *TVar[T]) Modify(tx *Tx, f func(T) T) {
+	v.Set(tx, f(v.Get(tx)))
+}
+
+// validate charges one access per read-set entry and checks that no
+// observed version moved. Returns false on conflict.
+func (tx *Tx) validate() bool {
+	for v, ver := range tx.readSet {
+		tx.chargeAccess(false)
+		if v.ver() != ver {
+			if tx.s.Trace != nil {
+				tx.s.Trace("t=%d validate-fail: tx(b=%d,a=%d) var=%s ver %d→%d",
+					tx.agent.Proc().Now(), tx.birth, tx.attempt, v.varName(), ver, v.ver())
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// commitTop publishes a top-level transaction. Returns false (and rolls
+// back) on validation failure or if the transaction was force-aborted
+// by a contention manager after its last operation.
+func (tx *Tx) commitTop() bool {
+	if tx.state == txAborted {
+		return false // already rolled back by forceAbort
+	}
+	if !tx.validate() {
+		tx.state = txAborted
+		tx.releaseAll()
+		return false
+	}
+	// Validation charges time (yields), so a contention manager may
+	// have force-aborted us mid-validate; re-check before publishing.
+	if tx.state == txAborted {
+		return false
+	}
+	for _, v := range tx.owned {
+		v.commitFrom(tx)
+	}
+	tx.owned = nil
+	tx.savedPending = nil
+	tx.state = txCommitted
+	return true
+}
+
+// commitNested merges a child into its parent: read set entries move up,
+// owned vars are reassigned, saved ancestor buffers are kept (the new
+// values stand).
+func (tx *Tx) commitNested() bool {
+	// Merging into a force-aborted ancestor would leak ownership: the
+	// ancestor has already released everything it will ever release,
+	// so variables reassigned to it now would stay owned by a dead
+	// transaction forever. Check the whole chain, not just this tx.
+	if tx.chainAborted() {
+		tx.state = txAborted
+		tx.releaseAll()
+		return false
+	}
+	// A nested commit validates its own read set so conflicts surface
+	// as early as the child boundary.
+	if !tx.validate() {
+		tx.state = txAborted
+		tx.releaseAll()
+		return false
+	}
+	// Validation yields; an ancestor (or this tx) may have been
+	// force-aborted meanwhile — re-check before merging.
+	if tx.chainAborted() {
+		tx.state = txAborted
+		tx.releaseAll()
+		return false
+	}
+	p := tx.parent
+	for v, ver := range tx.readSet {
+		if _, seen := p.readSet[v]; !seen {
+			p.readSet[v] = ver
+		}
+	}
+	for _, v := range tx.owned {
+		v.reassign(tx, p)
+		p.owned = append(p.owned, v)
+	}
+	tx.owned = nil
+	tx.savedPending = nil
+	p.karma = tx.karma
+	tx.state = txCommitted
+	return true
+}
+
+// Outcome of one Atomically call.
+type Outcome struct {
+	Committed bool
+	Attempts  int      // total attempts including the successful one
+	Err       error    // user error returned by the body, if any
+	WastedOps int64    // karma accumulated by aborted attempts
+	Backoff   sim.Time // total backoff wait
+}
+
+// Atomically runs body as a transaction on behalf of agent a, retrying
+// aborted attempts with the manager's backoff until commit, or until
+// body returns a non-nil error (a user-level abort: the attempt is
+// rolled back and the error returned without retry).
+//
+// All retries share one birth stamp and accumulate karma, and a small
+// deterministic jitter derived from the birth is added to the backoff
+// so that symmetric transactions cannot re-collide in lockstep forever
+// (the deterministic simulator would otherwise replay identical
+// conflict schedules indefinitely).
+func (s *STM) Atomically(a Agent, body func(tx *Tx) error) (Outcome, error) {
+	var out Outcome
+	birth := s.nextBirth()
+	var karma int64
+	for attempt := 1; ; attempt++ {
+		out.Attempts = attempt
+		tx := s.newTx(a, nil, attempt, birth, karma)
+		err, aborted := runBody(tx, body)
+		// A force-abort after the body's last operation also voids the
+		// attempt: a zombie body's return value may rest on
+		// inconsistent reads, so it must not be trusted.
+		if aborted || tx.state == txAborted || (err == nil && !tx.commitTop()) {
+			// Defensive rollback: even force-aborted attempts release
+			// again here, in case an in-flight operation acquired
+			// anything after the force-abort's release (releaseAll is
+			// idempotent).
+			tx.state = txAborted
+			tx.releaseAll()
+			s.aborts++
+			a.Counters().TxAborts++
+			out.WastedOps += tx.karma - karma
+			karma = tx.karma
+			wait := s.Manager.Backoff(attempt) + backoffJitter(birth, attempt)
+			if wait > 0 {
+				out.Backoff += wait
+				a.Proc().Hold(wait)
+			}
+			continue
+		}
+		if err != nil {
+			// User-level abort: roll back effects, do not retry.
+			tx.state = txAborted
+			tx.releaseAll()
+			out.Err = err
+			return out, err
+		}
+		s.commits++
+		a.Counters().TxCommits++
+		s.wakeCommitWaiters()
+		out.Committed = true
+		return out, nil
+	}
+}
+
+// backoffJitter returns a deterministic 0–4 tick symmetry breaker.
+func backoffJitter(birth uint64, attempt int) sim.Time {
+	h := (birth*2654435761 + uint64(attempt)*40503) % 5
+	return sim.Time(h)
+}
+
+// Nested runs body as a closed-nested subtransaction of tx. A non-nil
+// body error rolls back the child only and is returned (the parent
+// continues — this is the paper's "cmit = false" signal). A system
+// abort of the child (conflict, force-abort, failed validation)
+// restarts the whole top-level transaction: retrying just the child
+// while ancestors keep their acquisitions would preserve wait-for
+// cycles between transactions.
+func (tx *Tx) Nested(body func(child *Tx) error) error {
+	if tx == nil {
+		panic(ErrNotAtomic)
+	}
+	tx.checkAlive()
+	child := tx.s.newTx(tx.agent, tx, 1, 0, 0)
+	err, aborted := runBody(child, body)
+	if aborted || child.state == txAborted || (err == nil && !child.commitNested()) {
+		child.abortSelf() // aborts the whole chain, unwinds to the top
+	}
+	if err != nil {
+		child.state = txAborted
+		child.releaseAll()
+		return err
+	}
+	return nil
+}
+
+// runBody executes body, converting the abort panic into the aborted
+// flag; other panics propagate.
+func runBody(tx *Tx, body func(*Tx) error) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errAbort { //nolint:errorlint // sentinel identity
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return body(tx), false
+}

@@ -1,0 +1,231 @@
+// Package trace records structured execution events of a STAMP
+// simulation — S-round/S-unit boundaries, communication, transaction
+// outcomes — and renders per-process timelines. Attach a Recorder to a
+// core.System (sys.Tracer) to enable it; recording is disabled (and
+// free) by default.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	RoundStart Kind = iota
+	RoundEnd
+	UnitStart
+	UnitEnd
+	Send
+	Recv
+	TxCommit
+	TxAbort
+	BarrierWait
+	Custom
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case RoundStart:
+		return "round-start"
+	case RoundEnd:
+		return "round-end"
+	case UnitStart:
+		return "unit-start"
+	case UnitEnd:
+		return "unit-end"
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	case TxCommit:
+		return "tx-commit"
+	case TxAbort:
+		return "tx-abort"
+	case BarrierWait:
+		return "barrier"
+	case Custom:
+		return "custom"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Proc   string
+	Kind   Kind
+	Detail string
+}
+
+// String renders one log line.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("t=%-8d %-14s %s", e.At, e.Proc, e.Kind)
+	}
+	return fmt.Sprintf("t=%-8d %-14s %-12s %s", e.At, e.Proc, e.Kind, e.Detail)
+}
+
+// Recorder accumulates events. The zero value records nothing until
+// Enable; use New for an enabled recorder. Not safe for host-level
+// concurrency — the simulation kernel is sequential by construction.
+type Recorder struct {
+	enabled bool
+	// Max bounds stored events (0 = unbounded); beyond it the oldest
+	// events are dropped and Dropped counts them.
+	Max     int
+	Dropped int64
+	events  []Event
+}
+
+// New returns an enabled recorder keeping at most max events
+// (0 = unbounded).
+func New(max int) *Recorder {
+	return &Recorder{enabled: true, Max: max}
+}
+
+// Enable turns recording on.
+func (r *Recorder) Enable() { r.enabled = true }
+
+// Enabled reports whether events are being kept.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// Record appends an event.
+func (r *Recorder) Record(at sim.Time, proc string, kind Kind, detail string) {
+	if !r.Enabled() {
+		return
+	}
+	if r.Max > 0 && len(r.events) >= r.Max {
+		copy(r.events, r.events[1:])
+		r.events = r.events[:len(r.events)-1]
+		r.Dropped++
+	}
+	r.events = append(r.events, Event{At: at, Proc: proc, Kind: kind, Detail: detail})
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// ByKind counts events per kind.
+func (r *Recorder) ByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Log renders every stored event, one per line.
+func (r *Recorder) Log() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", r.Dropped)
+	}
+	return b.String()
+}
+
+// Timeline renders a per-process lane chart of width columns: '█' while
+// inside an S-round, '─' elsewhere between the process's first and last
+// event, '·' outside its lifetime. Lanes sort by process name.
+func (r *Recorder) Timeline(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(r.events) == 0 {
+		return "(no events)\n"
+	}
+	var tMin, tMax sim.Time
+	tMin = r.events[0].At
+	for _, e := range r.events {
+		if e.At < tMin {
+			tMin = e.At
+		}
+		if e.At > tMax {
+			tMax = e.At
+		}
+	}
+	span := tMax - tMin
+	if span == 0 {
+		span = 1
+	}
+	col := func(t sim.Time) int {
+		c := int(int64(t-tMin) * int64(width-1) / int64(span))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	type lane struct {
+		first, last sim.Time
+		rounds      [][2]sim.Time
+		openRound   sim.Time
+		open        bool
+	}
+	lanes := map[string]*lane{}
+	for _, e := range r.events {
+		l := lanes[e.Proc]
+		if l == nil {
+			l = &lane{first: e.At, last: e.At}
+			lanes[e.Proc] = l
+		}
+		if e.At < l.first {
+			l.first = e.At
+		}
+		if e.At > l.last {
+			l.last = e.At
+		}
+		switch e.Kind {
+		case RoundStart:
+			l.openRound, l.open = e.At, true
+		case RoundEnd:
+			if l.open {
+				l.rounds = append(l.rounds, [2]sim.Time{l.openRound, e.At})
+				l.open = false
+			}
+		}
+	}
+
+	names := make([]string, 0, len(lanes))
+	for n := range lanes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline t=[%d,%d]\n", tMin, tMax)
+	for _, n := range names {
+		l := lanes[n]
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for i := col(l.first); i <= col(l.last); i++ {
+			row[i] = '-'
+		}
+		for _, rr := range l.rounds {
+			for i := col(rr[0]); i <= col(rr[1]); i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-14s |%s|\n", n, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilAndDisabledRecorderAreSafe(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+	nilRec.Record(1, "p", Send, "") // must not panic
+
+	var zero Recorder
+	zero.Record(1, "p", Send, "")
+	if zero.Len() != 0 {
+		t.Fatal("disabled recorder stored an event")
+	}
+	zero.Enable()
+	zero.Record(2, "p", Send, "")
+	if zero.Len() != 1 {
+		t.Fatal("enabled recorder dropped the event")
+	}
+}
+
+func TestRecordOrderAndAccessors(t *testing.T) {
+	r := New(0)
+	r.Record(5, "a", RoundStart, "round 0")
+	r.Record(9, "a", RoundEnd, "round 0")
+	r.Record(9, "b", Send, "to a")
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Kind != RoundStart || evs[2].Proc != "b" {
+		t.Fatalf("events: %v", evs)
+	}
+	counts := r.ByKind()
+	if counts[RoundStart] != 1 || counts[Send] != 1 {
+		t.Fatalf("by-kind: %v", counts)
+	}
+}
+
+func TestMaxEvictsOldest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5; i++ {
+		r.Record(sim.Time(i), "p", Custom, "")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d, want 3", r.Len())
+	}
+	if r.Dropped != 2 {
+		t.Fatalf("dropped %d, want 2", r.Dropped)
+	}
+	if r.Events()[0].At != 2 {
+		t.Fatalf("oldest kept event at %d, want 2", r.Events()[0].At)
+	}
+	if !strings.Contains(r.Log(), "2 earlier events dropped") {
+		t.Fatal("log missing drop note")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := RoundStart; k <= Custom; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 7, Proc: "w/1", Kind: Send, Detail: "to w/2"}
+	s := e.String()
+	if !strings.Contains(s, "w/1") || !strings.Contains(s, "send") || !strings.Contains(s, "to w/2") {
+		t.Fatalf("event string %q", s)
+	}
+	bare := Event{At: 7, Proc: "w/1", Kind: Recv}
+	if !strings.Contains(bare.String(), "recv") {
+		t.Fatalf("bare event string %q", bare.String())
+	}
+}
+
+func TestTimelineShape(t *testing.T) {
+	r := New(0)
+	r.Record(0, "a", RoundStart, "")
+	r.Record(50, "a", RoundEnd, "")
+	r.Record(50, "b", RoundStart, "")
+	r.Record(100, "b", RoundEnd, "")
+	tl := r.Timeline(40)
+	lines := strings.Split(strings.TrimSpace(tl), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines: %v", lines)
+	}
+	if !strings.Contains(lines[0], "t=[0,100]") {
+		t.Fatalf("header %q", lines[0])
+	}
+	aRow, bRow := lines[1], lines[2]
+	if !strings.HasPrefix(aRow, "a") || !strings.HasPrefix(bRow, "b") {
+		t.Fatalf("lane order: %q %q", aRow, bRow)
+	}
+	// a is busy in the first half, b in the second.
+	aBusyFirst := strings.Index(aRow, "#")
+	bBusyFirst := strings.Index(bRow, "#")
+	if aBusyFirst >= bBusyFirst {
+		t.Fatalf("lane activity misplaced: a@%d b@%d", aBusyFirst, bBusyFirst)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	r := New(0)
+	if !strings.Contains(r.Timeline(30), "no events") {
+		t.Fatal("empty timeline wrong")
+	}
+}

@@ -1,0 +1,224 @@
+// Package workload provides deterministic, seeded generators for the
+// inputs of the paper's three example families: linear systems for
+// Jacobi, weighted digraphs for all-pairs shortest paths, account sets
+// and transfer mixes for banking, and flight networks with itineraries
+// for airline reservation. The paper specifies no concrete datasets, so
+// these synthetic inputs are sized for laptop-scale reproduction
+// (documented in DESIGN.md).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LinearSystem is a dense n×n system A·x = b with a known solution.
+type LinearSystem struct {
+	N int
+	A [][]float64
+	B []float64
+	// XStar is the exact solution used to manufacture B.
+	XStar []float64
+}
+
+// NewLinearSystem generates a strictly diagonally dominant system (so
+// Jacobi iteration converges) with entries in [-1, 1] and diagonal
+// boosted above the row sum. Deterministic in (n, seed).
+func NewLinearSystem(n int, seed int64) LinearSystem {
+	if n < 1 {
+		panic("workload: system size must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ls := LinearSystem{
+		N:     n,
+		A:     make([][]float64, n),
+		B:     make([]float64, n),
+		XStar: make([]float64, n),
+	}
+	for i := range ls.XStar {
+		ls.XStar[i] = rng.Float64()*4 - 2
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		var offSum float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			row[j] = rng.Float64()*2 - 1
+			offSum += math.Abs(row[j])
+		}
+		// Strict dominance: |a_ii| > Σ|a_ij|.
+		row[i] = offSum + 1 + rng.Float64()
+		ls.A[i] = row
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += ls.A[i][j] * ls.XStar[j]
+		}
+		ls.B[i] = s
+	}
+	return ls
+}
+
+// Residual returns the max-norm error ‖x − x*‖∞ of a candidate solution.
+func (ls LinearSystem) Residual(x []float64) float64 {
+	var worst float64
+	for i := range x {
+		if d := math.Abs(x[i] - ls.XStar[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Inf is the "no edge" marker for graph weights, chosen so that
+// Inf + maxWeight never overflows int64.
+const Inf int64 = math.MaxInt64 / 4
+
+// Graph is a dense weighted digraph given by its adjacency matrix:
+// W[i][j] is the edge weight, Inf if absent, 0 on the diagonal.
+type Graph struct {
+	V int
+	W [][]int64
+}
+
+// NewRandomGraph generates a digraph with the given edge density in
+// (0,1] and integer weights in [1, maxW]. A Hamiltonian-style cycle of
+// edges is always included so the graph is strongly connected and every
+// distance is finite. Deterministic in (v, density, maxW, seed).
+func NewRandomGraph(v int, density float64, maxW int64, seed int64) Graph {
+	if v < 2 {
+		panic("workload: graph needs at least 2 vertices")
+	}
+	if density <= 0 || density > 1 {
+		panic("workload: density must be in (0,1]")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := Graph{V: v, W: make([][]int64, v)}
+	for i := range g.W {
+		g.W[i] = make([]int64, v)
+		for j := range g.W[i] {
+			switch {
+			case i == j:
+				g.W[i][j] = 0
+			case rng.Float64() < density:
+				g.W[i][j] = 1 + rng.Int63n(maxW)
+			default:
+				g.W[i][j] = Inf
+			}
+		}
+	}
+	// Guarantee strong connectivity via the cycle 0→1→…→v-1→0.
+	for i := 0; i < v; i++ {
+		j := (i + 1) % v
+		if g.W[i][j] == Inf {
+			g.W[i][j] = 1 + rng.Int63n(maxW)
+		}
+	}
+	return g
+}
+
+// Clone returns a deep copy of the adjacency matrix.
+func (g Graph) Clone() [][]int64 {
+	out := make([][]int64, g.V)
+	for i, row := range g.W {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
+}
+
+// Transfer is one banking transfer request.
+type Transfer struct {
+	From, To int
+	Amount   int64
+}
+
+// Bank is a banking workload: account count, initial balance and a
+// transfer mix.
+type Bank struct {
+	Accounts    int
+	InitBalance int64
+	Transfers   []Transfer
+}
+
+// NewBank generates a transfer mix over nAcc accounts. hotFrac in
+// [0,1) is the fraction of transfers that touch account 0 (the
+// hot spot), controlling contention. Deterministic in all arguments.
+func NewBank(nAcc int, nTransfers int, initBalance int64, hotFrac float64, seed int64) Bank {
+	if nAcc < 2 {
+		panic("workload: bank needs at least 2 accounts")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := Bank{Accounts: nAcc, InitBalance: initBalance}
+	for i := 0; i < nTransfers; i++ {
+		var from, to int
+		if rng.Float64() < hotFrac {
+			from = 0
+			to = 1 + rng.Intn(nAcc-1)
+		} else {
+			from = rng.Intn(nAcc)
+			to = rng.Intn(nAcc - 1)
+			if to >= from {
+				to++
+			}
+		}
+		amt := 1 + rng.Int63n(initBalance/4+1)
+		b.Transfers = append(b.Transfers, Transfer{From: from, To: to, Amount: amt})
+	}
+	return b
+}
+
+// TotalMoney returns the conserved quantity Σ balances at start.
+func (b Bank) TotalMoney() int64 { return int64(b.Accounts) * b.InitBalance }
+
+// Itinerary is a three-leg trip through two intermediate sectors, as in
+// the paper's reserve(from, to, sect1, sect2) example.
+type Itinerary struct {
+	From, Sect1, Sect2, To int
+}
+
+// Legs returns the three legs as (src, dst) sector pairs.
+func (it Itinerary) Legs() [3][2]int {
+	return [3][2]int{{it.From, it.Sect1}, {it.Sect1, it.Sect2}, {it.Sect2, it.To}}
+}
+
+// Airline is a reservation workload: a sector graph where every ordered
+// sector pair is a bookable leg with fixed seat capacity, plus a batch
+// of three-leg itineraries.
+type Airline struct {
+	Sectors     int
+	SeatsPerLeg int64
+	Itineraries []Itinerary
+}
+
+// LegIndex maps an ordered sector pair to a dense leg id.
+func (a Airline) LegIndex(src, dst int) int { return src*a.Sectors + dst }
+
+// NumLegs returns the dense leg table size.
+func (a Airline) NumLegs() int { return a.Sectors * a.Sectors }
+
+// NewAirline generates itineraries over the sector set; the four stops
+// of each itinerary are distinct. Deterministic in all arguments.
+func NewAirline(sectors int, seatsPerLeg int64, nItineraries int, seed int64) Airline {
+	if sectors < 4 {
+		panic("workload: airline needs at least 4 sectors")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := Airline{Sectors: sectors, SeatsPerLeg: seatsPerLeg}
+	for i := 0; i < nItineraries; i++ {
+		perm := rng.Perm(sectors)
+		a.Itineraries = append(a.Itineraries, Itinerary{
+			From: perm[0], Sect1: perm[1], Sect2: perm[2], To: perm[3],
+		})
+	}
+	return a
+}
+
+// Describe renders a short workload summary for harness output.
+func (a Airline) Describe() string {
+	return fmt.Sprintf("airline: %d sectors, %d seats/leg, %d itineraries",
+		a.Sectors, a.SeatsPerLeg, len(a.Itineraries))
+}

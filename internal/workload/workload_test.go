@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearSystemDeterministic(t *testing.T) {
+	a := NewLinearSystem(16, 42)
+	b := NewLinearSystem(16, 42)
+	for i := 0; i < 16; i++ {
+		if a.B[i] != b.B[i] || a.XStar[i] != b.XStar[i] {
+			t.Fatal("same seed produced different systems")
+		}
+		for j := 0; j < 16; j++ {
+			if a.A[i][j] != b.A[i][j] {
+				t.Fatal("same seed produced different matrices")
+			}
+		}
+	}
+	c := NewLinearSystem(16, 43)
+	if c.B[0] == a.B[0] {
+		t.Fatal("different seeds produced identical systems")
+	}
+}
+
+func TestLinearSystemDiagonallyDominant(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := 2 + int(n8)%30
+		ls := NewLinearSystem(n, seed)
+		for i := 0; i < n; i++ {
+			var off float64
+			for j := 0; j < n; j++ {
+				if j != i {
+					off += math.Abs(ls.A[i][j])
+				}
+			}
+			if math.Abs(ls.A[i][i]) <= off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearSystemBMatchesSolution(t *testing.T) {
+	ls := NewLinearSystem(8, 7)
+	for i := 0; i < 8; i++ {
+		var s float64
+		for j := 0; j < 8; j++ {
+			s += ls.A[i][j] * ls.XStar[j]
+		}
+		if math.Abs(s-ls.B[i]) > 1e-9 {
+			t.Fatalf("row %d: A·x* = %g, b = %g", i, s, ls.B[i])
+		}
+	}
+	if ls.Residual(ls.XStar) != 0 {
+		t.Fatal("residual of exact solution not 0")
+	}
+	off := append([]float64(nil), ls.XStar...)
+	off[3] += 0.5
+	if r := ls.Residual(off); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("residual of perturbed solution %g, want 0.5", r)
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	g := NewRandomGraph(20, 0.2, 10, 5)
+	if g.V != 20 {
+		t.Fatalf("V = %d", g.V)
+	}
+	for i := 0; i < g.V; i++ {
+		if g.W[i][i] != 0 {
+			t.Fatalf("diagonal W[%d][%d] = %d", i, i, g.W[i][i])
+		}
+		// The connectivity cycle guarantees the next-hop edge.
+		j := (i + 1) % g.V
+		if g.W[i][j] >= Inf {
+			t.Fatalf("cycle edge %d→%d missing", i, j)
+		}
+		for j := 0; j < g.V; j++ {
+			w := g.W[i][j]
+			if w != 0 && w != Inf && (w < 1 || w > 10) {
+				t.Fatalf("weight W[%d][%d] = %d out of range", i, j, w)
+			}
+		}
+	}
+}
+
+func TestGraphCloneIsDeep(t *testing.T) {
+	g := NewRandomGraph(4, 1, 5, 1)
+	c := g.Clone()
+	c[1][2] = 999
+	if g.W[1][2] == 999 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestInfDoesNotOverflowWhenAdded(t *testing.T) {
+	if Inf+Inf < Inf {
+		t.Fatal("Inf + Inf overflows int64")
+	}
+}
+
+func TestBankWorkload(t *testing.T) {
+	b := NewBank(32, 100, 500, 0.5, 9)
+	if len(b.Transfers) != 100 {
+		t.Fatalf("transfers = %d", len(b.Transfers))
+	}
+	if b.TotalMoney() != 32*500 {
+		t.Fatalf("total money %d", b.TotalMoney())
+	}
+	hot := 0
+	for _, tr := range b.Transfers {
+		if tr.From == tr.To {
+			t.Fatalf("self transfer %+v", tr)
+		}
+		if tr.From < 0 || tr.From >= 32 || tr.To < 0 || tr.To >= 32 {
+			t.Fatalf("account out of range: %+v", tr)
+		}
+		if tr.Amount < 1 {
+			t.Fatalf("non-positive amount: %+v", tr)
+		}
+		if tr.From == 0 {
+			hot++
+		}
+	}
+	// hotFrac 0.5 over 100 transfers: hot-spot senders well above the
+	// uniform expectation of ~3.
+	if hot < 30 {
+		t.Fatalf("hot-spot transfers = %d, want ≥ 30", hot)
+	}
+}
+
+func TestBankZeroHotFraction(t *testing.T) {
+	b := NewBank(64, 200, 100, 0, 11)
+	from0 := 0
+	for _, tr := range b.Transfers {
+		if tr.From == 0 {
+			from0++
+		}
+	}
+	if from0 > 20 { // uniform expectation ≈ 3
+		t.Fatalf("uniform workload skewed: %d transfers from account 0", from0)
+	}
+}
+
+func TestAirlineItinerariesDistinctStops(t *testing.T) {
+	a := NewAirline(8, 5, 50, 3)
+	if len(a.Itineraries) != 50 {
+		t.Fatalf("itineraries = %d", len(a.Itineraries))
+	}
+	for _, it := range a.Itineraries {
+		stops := map[int]bool{it.From: true, it.Sect1: true, it.Sect2: true, it.To: true}
+		if len(stops) != 4 {
+			t.Fatalf("itinerary stops not distinct: %+v", it)
+		}
+		for _, leg := range it.Legs() {
+			if leg[0] == leg[1] {
+				t.Fatalf("degenerate leg in %+v", it)
+			}
+		}
+	}
+}
+
+func TestAirlineLegIndexBijective(t *testing.T) {
+	a := Airline{Sectors: 6}
+	seen := map[int]bool{}
+	for s := 0; s < 6; s++ {
+		for d := 0; d < 6; d++ {
+			idx := a.LegIndex(s, d)
+			if idx < 0 || idx >= a.NumLegs() {
+				t.Fatalf("leg index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("duplicate leg index %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestAirlineDescribe(t *testing.T) {
+	a := NewAirline(5, 3, 7, 1)
+	if a.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	cases := []func(){
+		func() { NewLinearSystem(0, 1) },
+		func() { NewRandomGraph(1, 0.5, 5, 1) },
+		func() { NewRandomGraph(5, 0, 5, 1) },
+		func() { NewRandomGraph(5, 1.5, 5, 1) },
+		func() { NewBank(1, 5, 10, 0, 1) },
+		func() { NewAirline(3, 5, 5, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
