@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test bench check fmt vet race
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/trace/...
+
+# The PR gate: everything must build, vet and be gofmt-clean, and the
+# observability packages must pass under the race detector.
+check: build vet fmt race
+	$(GO) test ./...

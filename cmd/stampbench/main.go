@@ -8,6 +8,7 @@
 //	stampbench                  # run everything
 //	stampbench -experiment bank # run one experiment
 //	stampbench -list            # list experiment ids
+//	stampbench -metrics-out DIR # also write DIR/<id>.prom per experiment
 package main
 
 import (
@@ -15,14 +16,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("experiment", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	metricsDir := flag.String("metrics-out", "", "write one Prometheus-text metric dump per experiment into this directory")
 	flag.Parse()
 
 	if *list {
@@ -57,6 +61,18 @@ func main() {
 			fmt.Println(r)
 		}
 	}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, r := range results {
+			if err := dumpMetrics(*metricsDir, r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
 	for _, r := range results {
 		if !r.Passed() {
 			failed++
@@ -66,4 +82,41 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// dumpMetrics writes one experiment's checks as a Prometheus-text
+// metric dump: a passed gauge per check plus totals, all labeled with
+// the experiment id.
+func dumpMetrics(dir string, r experiments.Result) error {
+	reg := obs.NewRegistry()
+	el := obs.L("experiment", r.ID)
+	passed, failed := 0, 0
+	for _, c := range r.Checks {
+		v := 0.0
+		if c.Pass {
+			v = 1
+			passed++
+		} else {
+			failed++
+		}
+		reg.Gauge("stampbench_check_passed", "Whether the named claim check passed.",
+			el, obs.L("check", c.Name)).Set(v)
+	}
+	reg.Gauge("stampbench_checks_total", "Claim checks run.", el).Set(float64(len(r.Checks)))
+	reg.Gauge("stampbench_checks_failed", "Claim checks that failed.", el).Set(float64(failed))
+	ok := 0.0
+	if r.Passed() {
+		ok = 1
+	}
+	reg.Gauge("stampbench_passed", "Whether every check of the experiment passed.", el).Set(ok)
+
+	f, err := os.Create(filepath.Join(dir, r.ID+".prom"))
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,19 +9,29 @@
 //	stampsim -app bank -n 64 -procs 16 -manager timestamp
 //	stampsim -app airline -n 8 -procs 8 -policy partial
 //	stampsim -machine generic -app jacobi -n 16
+//
+// Observability:
+//
+//	stampsim -app jacobi -n 32 -trace-out /tmp/t.json   # Perfetto/chrome://tracing
+//	stampsim -app jacobi -n 32 -metrics-out /tmp/m.prom # Prometheus text (.json → JSON)
+//	stampsim -app jacobi -n 32 -profile                 # per-process time breakdown
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/apps/airline"
 	"repro/internal/apps/apsp"
 	"repro/internal/apps/bank"
 	"repro/internal/apps/jacobi"
 	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -40,6 +50,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	doTrace := flag.Bool("trace", false, "record execution events; print timeline and last events")
 	traceTail := flag.Int("trace-tail", 40, "how many trailing trace events to print")
+	traceOut := flag.String("trace-out", "", "write causal spans as Chrome trace-event JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write run metrics to this file (.json → JSON, otherwise Prometheus text)")
+	doProfile := flag.Bool("profile", false, "print the per-process virtual-time breakdown and hotspots")
 	flag.Parse()
 
 	var cfg machine.Config
@@ -75,6 +88,19 @@ func main() {
 		rec = trace.New(100000)
 		opts = append(opts, core.WithTracer(rec))
 	}
+	ob := &obs.Observer{}
+	if *metricsOut != "" {
+		ob.Reg = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		ob.Trace = obs.NewTracer()
+	}
+	if *doProfile || *metricsOut != "" {
+		ob.Prof = obs.NewProfiler()
+	}
+	if ob.Enabled() {
+		opts = append(opts, core.WithObs(ob))
+	}
 	sys := core.NewSystem(cfg, opts...)
 	fmt.Println(cfg.Describe())
 
@@ -89,6 +115,12 @@ func main() {
 		mt, me := jacobi.MeasuredRound(res.Group, 1)
 		fmt.Printf("S-round: measured T=%d E=%.0f | predicted T=%.0f E=%.0f\n",
 			mt, me, model.TSRound(), model.ESRound())
+		obs.RecordDrift(ob.Registry(), "jacobi", "T_sround", model.TSRound(), float64(mt))
+		obs.RecordDrift(ob.Registry(), "jacobi", "E_sround", model.ESRound(), me)
+		if mt > 0 && model.TSRound() > 0 {
+			obs.RecordDrift(ob.Registry(), "jacobi", "P_sround",
+				model.ESRound()/model.TSRound(), me/float64(mt))
+		}
 		fmt.Print(res.Report().Table())
 
 	case "apsp":
@@ -110,6 +142,24 @@ func main() {
 		ok := apsp.Equal(res.Dist, apsp.FloydWarshall(g))
 		fmt.Printf("apsp %v mode=%v: %d epochs, %d total rounds, correct=%v\n",
 			apsp.DefaultAttrs, m, res.Epochs, res.TotalRounds(), ok)
+		// Round-time drift against the cost model with the measured κ
+		// (queue wait) substituted, as in the §4 analysis.
+		var sumT, sumWait float64
+		var rounds int
+		for _, c := range res.Group.Ctxs() {
+			for _, rec := range c.Rounds() {
+				sumT += float64(rec.T())
+				sumWait += float64(rec.Ops.QueueWait)
+				rounds++
+			}
+		}
+		if rounds > 0 {
+			cm := cfg.Costs
+			model := cost.APSP{V: *n, EllE: float64(cm.EllE), GShE: cm.GShE,
+				Kappa: sumWait / float64(rounds), WInt: cm.WInt, WRead: cm.WRead, WWrite: cm.WWrite}
+			obs.RecordDrift(ob.Registry(), "apsp", "T_sround", model.TSRoundEffective(), sumT/float64(rounds))
+			obs.RecordDrift(ob.Registry(), "apsp", "E_sround_upper", model.ESRoundUpper(), measuredMeanRoundE(sys, res.Group))
+		}
 		fmt.Print(res.Report().Table())
 
 	case "bank":
@@ -147,6 +197,56 @@ func main() {
 			fmt.Println(e)
 		}
 	}
+
+	if *traceOut != "" {
+		writeFile(*traceOut, func(f *os.File) error { return ob.Tracer().WriteChrome(f) })
+		fmt.Printf("wrote Chrome trace (Perfetto / chrome://tracing) to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		sys.CollectMetrics()
+		writeFile(*metricsOut, func(f *os.File) error {
+			if strings.HasSuffix(*metricsOut, ".json") {
+				return ob.Registry().WriteJSON(f)
+			}
+			return ob.Registry().WritePrometheus(f)
+		})
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *doProfile {
+		fmt.Println()
+		fmt.Print(ob.Profiler().Table())
+		fmt.Print(ob.Profiler().Hotspots(5))
+	}
+}
+
+// measuredMeanRoundE returns the mean per-round energy across all
+// member processes of g.
+func measuredMeanRoundE(sys *core.System, g *core.Group) float64 {
+	cfg := sys.M.Cfg
+	var sum float64
+	var n int
+	for _, c := range g.Ctxs() {
+		scale := cfg.ComputeEnergyScale(cfg.CoreOf(c.Thread()))
+		for _, r := range c.Rounds() {
+			sum += energy.EnergyScaled(r.Ops, cfg.Costs, scale)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// writeFile creates path and runs emit on it, exiting on error.
+func writeFile(path string, emit func(*os.File) error) {
+	f, err := os.Create(path)
+	exitIf(err)
+	if err := emit(f); err != nil {
+		f.Close()
+		fail("%v", err)
+	}
+	exitIf(f.Close())
 }
 
 func fail(format string, args ...any) {

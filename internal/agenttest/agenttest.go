@@ -7,16 +7,20 @@ package agenttest
 import (
 	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 // Agent binds a simulated process to a hardware thread and a counter
 // set. It implements the Agent interfaces of memory, msgpass and stm.
 type Agent struct {
-	P  *sim.Proc
-	T  machine.ThreadID
-	C  energy.Counters
-	fr float64 // fractional tick accumulator for HoldCost
+	P *sim.Proc
+	T machine.ThreadID
+	C energy.Counters
+	// Prof, when non-nil, receives the agent's virtual-time attribution
+	// (tests that assert profile categories set it).
+	Prof *obs.ProcProfile
+	fr   float64 // fractional tick accumulator for HoldCost
 }
 
 // New returns an agent for process p bound to thread t.
@@ -32,6 +36,10 @@ func (a *Agent) Thread() machine.ThreadID { return a.T }
 
 // Counters returns the agent's operation counters.
 func (a *Agent) Counters() *energy.Counters { return &a.C }
+
+// Profile returns the agent's profile sink (nil unless a test attached
+// one; the nil profile is a no-op).
+func (a *Agent) Profile() *obs.ProcProfile { return a.Prof }
 
 // HoldCost charges fractional virtual time, holding whole ticks as they
 // accumulate. The remainder carries over deterministically.

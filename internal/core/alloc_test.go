@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// With observability disabled (no WithObs), a charged op must cost no
+// more allocations than the bare kernel hold underneath it — the
+// instrumentation hooks all take the nil-receiver no-op path. The
+// kernel itself allocates one event per Hold, so we compare against
+// that baseline rather than demanding an absolute zero.
+func TestChargedOpsAllocationFreeWhenObsDisabled(t *testing.T) {
+	sys := NewSystem(machine.Niagara())
+	var holdAllocs, opAllocs float64
+	attrs := Attrs{Dist: IntraProc, Exec: AsyncExec, Comm: SynchComm}
+	sys.NewGroup("alloc", attrs, 1, func(ctx *Ctx) {
+		// Warm up lazy state (ops counters, event buffers).
+		ctx.FpOps(1)
+		ctx.IntOps(1)
+		holdAllocs = testing.AllocsPerRun(200, func() { ctx.p.Hold(1) })
+		opAllocs = testing.AllocsPerRun(200, func() { ctx.FpOps(1) })
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if opAllocs > holdAllocs {
+		t.Fatalf("FpOps allocates %.1f/run vs bare Hold %.1f/run — obs hooks are not free when disabled",
+			opAllocs, holdAllocs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/machine"
 	"repro/internal/msgpass"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stm"
 	"repro/internal/trace"
@@ -40,6 +41,12 @@ type Ctx struct {
 	units  []UnitRec
 
 	start, end sim.Time
+
+	// prof is the process's virtual-time profile (nil when profiling is
+	// off; the nil profile is a no-op, keeping charged ops alloc-free).
+	prof *obs.ProcProfile
+	// Open causal spans, innermost last: proc ⊃ unit ⊃ round.
+	procSpan, unitSpan, roundSpan obs.SpanID
 }
 
 // RoundRec is the measured cost of one S-round of one process:
@@ -89,6 +96,24 @@ func (c *Ctx) Thread() machine.ThreadID { return c.thread }
 
 // Counters returns the process's counters (Agent interface).
 func (c *Ctx) Counters() *energy.Counters { return &c.c }
+
+// Profile returns the process's virtual-time profile sink, nil when
+// profiling is disabled (Agent interface).
+func (c *Ctx) Profile() *obs.ProcProfile { return c.prof }
+
+// tracerSpans returns the span tracer (nil when absent).
+func (c *Ctx) tracerSpans() *obs.Tracer { return c.sys.Obs.Tracer() }
+
+// spanParent returns the innermost open structural span.
+func (c *Ctx) spanParent() obs.SpanID {
+	if c.roundSpan != 0 {
+		return c.roundSpan
+	}
+	if c.unitSpan != 0 {
+		return c.unitSpan
+	}
+	return c.procSpan
+}
 
 // Endpoint returns the process's message-passing mailbox.
 func (c *Ctx) Endpoint() *msgpass.Endpoint { return c.ep }
@@ -140,10 +165,14 @@ func (c *Ctx) holdCompute(n int64, t sim.Time) {
 	cfg := c.sys.M.Cfg
 	core := cfg.CoreOf(c.thread)
 	if mult := cfg.CoreMult(core); mult != 1 {
+		t0 := c.p.Now()
 		c.HoldCost(cfg.ComputeTime(core, n, float64(t)))
+		c.prof.Charge(obs.CatCompute, c.p.Now()-t0)
 		return
 	}
-	c.p.Hold(sim.Time(n) * t)
+	d := sim.Time(n) * t
+	c.p.Hold(d)
+	c.prof.Charge(obs.CatCompute, d)
 }
 
 // computeEnergyScale returns the per-op energy multiplier of this
@@ -170,6 +199,9 @@ func (c *Ctx) SUnit(fn func()) {
 	c.unitStart = c.p.Now()
 	c.unitBase = c.c
 	c.traceEvent(trace.UnitStart, fmt.Sprintf("unit %d", c.unit))
+	if tr := c.tracerSpans(); tr.Enabled() {
+		c.unitSpan = tr.Begin(c.unitStart, c.p.Name(), "unit", fmt.Sprintf("unit %d", c.unit), c.procSpan)
+	}
 	roundsBefore := len(c.rounds)
 	fn()
 	rec := UnitRec{
@@ -182,6 +214,8 @@ func (c *Ctx) SUnit(fn func()) {
 	rec.Ops.SubFrom(c.unitBase)
 	c.units = append(c.units, rec)
 	c.traceEvent(trace.UnitEnd, fmt.Sprintf("unit %d", c.unit))
+	c.tracerSpans().End(c.unitSpan, rec.End)
+	c.unitSpan = 0
 	c.unit++
 	c.inUnit = false
 }
@@ -199,13 +233,16 @@ func (c *Ctx) SRound(fn func()) {
 	c.roundStart = c.p.Now()
 	c.roundBase = c.c
 	c.traceEvent(trace.RoundStart, fmt.Sprintf("round %d", c.round))
+	if tr := c.tracerSpans(); tr.Enabled() {
+		parent := c.unitSpan
+		if parent == 0 {
+			parent = c.procSpan
+		}
+		c.roundSpan = tr.Begin(c.roundStart, c.p.Name(), "round", fmt.Sprintf("round %d", c.round), parent)
+	}
 	fn()
 	if c.g.attrs.Comm == SynchComm && c.g.n > 1 {
-		before := c.p.Now()
-		c.g.bar.Await(c.p)
-		if wait := c.p.Now() - before; wait > 0 {
-			c.traceEvent(trace.BarrierWait, fmt.Sprintf("waited %d", wait))
-		}
+		c.barrierWait()
 	}
 	rec := RoundRec{
 		Unit:  c.unit,
@@ -217,8 +254,27 @@ func (c *Ctx) SRound(fn func()) {
 	rec.Ops.SubFrom(c.roundBase)
 	c.rounds = append(c.rounds, rec)
 	c.traceEvent(trace.RoundEnd, fmt.Sprintf("round %d", c.round))
+	c.tracerSpans().End(c.roundSpan, rec.End)
+	c.roundSpan = 0
 	c.round++
 	c.inRound = false
+}
+
+// barrierWait blocks on the group barrier, attributing the wait to
+// CatBarrier and recording it as a span/event when tracing.
+func (c *Ctx) barrierWait() {
+	before := c.p.Now()
+	c.g.bar.Await(c.p)
+	wait := c.p.Now() - before
+	if wait <= 0 {
+		return
+	}
+	c.prof.Charge(obs.CatBarrier, wait)
+	c.traceEvent(trace.BarrierWait, fmt.Sprintf("waited %d", wait))
+	if tr := c.tracerSpans(); tr.Enabled() {
+		id := tr.Begin(before, c.p.Name(), "barrier", "barrier", c.spanParent())
+		tr.End(id, before+wait)
+	}
 }
 
 // Rounds returns the per-round measurements recorded so far.
@@ -231,7 +287,7 @@ func (c *Ctx) Units() []UnitRec { return c.units }
 // synchronization for async_comm algorithms that need one).
 func (c *Ctx) Barrier() {
 	if c.g.n > 1 {
-		c.g.bar.Await(c.p)
+		c.barrierWait()
 	}
 }
 
@@ -249,7 +305,12 @@ func (c *Ctx) Peer(j int) *msgpass.Endpoint {
 // blocks until delivery; under async_comm it is fire-and-forget.
 func (c *Ctx) SendTo(j int, payload any) {
 	dst := c.Peer(j)
-	c.traceEvent(trace.Send, "to "+dst.Name())
+	if c.sys.Tracer.Enabled() {
+		c.traceEvent(trace.Send, "to "+dst.Name())
+	}
+	if tr := c.tracerSpans(); tr.Enabled() {
+		tr.Instant(c.p.Now(), c.p.Name(), "msg", "send", "to "+dst.Name(), c.spanParent())
+	}
 	if c.g.attrs.Comm == SynchComm {
 		c.ep.SendSync(c, dst, payload)
 	} else {
@@ -260,20 +321,38 @@ func (c *Ctx) SendTo(j int, payload any) {
 // Recv blocks until a message addressed to this process arrives and
 // returns it.
 func (c *Ctx) Recv() msgpass.Message {
+	var sp obs.SpanID
+	tr := c.tracerSpans()
+	if tr.Enabled() {
+		sp = tr.Begin(c.p.Now(), c.p.Name(), "msg", "recv", c.spanParent())
+	}
 	m := c.ep.Recv(c)
-	if m.From != nil {
+	tr.End(sp, c.p.Now())
+	if m.From != nil && c.sys.Tracer.Enabled() {
 		c.traceEvent(trace.Recv, "from "+m.From.Name())
 	}
 	return m
 }
 
 // RecvN receives exactly n messages.
-func (c *Ctx) RecvN(n int) []msgpass.Message { return c.ep.RecvN(c, n) }
+func (c *Ctx) RecvN(n int) []msgpass.Message {
+	var sp obs.SpanID
+	tr := c.tracerSpans()
+	if tr.Enabled() {
+		sp = tr.Begin(c.p.Now(), c.p.Name(), "msg", "recv", c.spanParent())
+	}
+	ms := c.ep.RecvN(c, n)
+	tr.End(sp, c.p.Now())
+	return ms
+}
 
 // BroadcastAll sends payload to every other group member (asynchronous
 // injection regardless of the comm attribute; synch_comm algorithms
 // follow a broadcast with a barrier, as in the Jacobi example).
 func (c *Ctx) BroadcastAll(payload any) {
+	if tr := c.tracerSpans(); tr.Enabled() {
+		tr.Instant(c.p.Now(), c.p.Name(), "msg", "broadcast", fmt.Sprintf("to %d peers", c.g.n-1), c.spanParent())
+	}
 	for j := 0; j < c.g.n; j++ {
 		if j == c.idx {
 			continue
@@ -287,14 +366,9 @@ func (c *Ctx) BroadcastAll(payload any) {
 // Atomically runs body as a transaction on the system's STM (the
 // trans_exec attribute's realization).
 func (c *Ctx) Atomically(body func(tx *stm.Tx) error) (stm.Outcome, error) {
+	sp := c.beginTxSpan()
 	out, err := c.sys.TM.Atomically(c, body)
-	if c.sys.Tracer.Enabled() {
-		if out.Committed {
-			c.traceEvent(trace.TxCommit, fmt.Sprintf("attempts %d", out.Attempts))
-		} else {
-			c.traceEvent(trace.TxAbort, fmt.Sprintf("attempts %d err %v", out.Attempts, err))
-		}
-	}
+	c.endTxSpan(sp, out, err)
 	return out, err
 }
 
@@ -302,7 +376,32 @@ func (c *Ctx) Atomically(body func(tx *stm.Tx) error) (stm.Outcome, error) {
 // tx.Retry() blocks this process until another transaction commits,
 // then re-executes.
 func (c *Ctx) AtomicallyWait(body func(tx *stm.Tx) error) (stm.Outcome, error) {
+	sp := c.beginTxSpan()
 	out, err := c.sys.TM.AtomicallyWait(c, body)
+	c.endTxSpan(sp, out, err)
+	return out, err
+}
+
+// AtomicallyOrElse composes two alternatives: if first retries, second
+// runs; if both retry, the process blocks until a commit.
+func (c *Ctx) AtomicallyOrElse(first, second func(tx *stm.Tx) error) (stm.Outcome, error) {
+	sp := c.beginTxSpan()
+	out, err := c.sys.TM.AtomicallyOrElse(c, first, second)
+	c.endTxSpan(sp, out, err)
+	return out, err
+}
+
+// beginTxSpan opens a "tx" span when span tracing is on.
+func (c *Ctx) beginTxSpan() obs.SpanID {
+	if tr := c.tracerSpans(); tr.Enabled() {
+		return tr.Begin(c.p.Now(), c.p.Name(), "tx", "tx", c.spanParent())
+	}
+	return 0
+}
+
+// endTxSpan closes the "tx" span and records the outcome in both the
+// flat event log and as a span instant.
+func (c *Ctx) endTxSpan(sp obs.SpanID, out stm.Outcome, err error) {
 	if c.sys.Tracer.Enabled() {
 		if out.Committed {
 			c.traceEvent(trace.TxCommit, fmt.Sprintf("attempts %d", out.Attempts))
@@ -310,13 +409,17 @@ func (c *Ctx) AtomicallyWait(body func(tx *stm.Tx) error) (stm.Outcome, error) {
 			c.traceEvent(trace.TxAbort, fmt.Sprintf("attempts %d err %v", out.Attempts, err))
 		}
 	}
-	return out, err
-}
-
-// AtomicallyOrElse composes two alternatives: if first retries, second
-// runs; if both retry, the process blocks until a commit.
-func (c *Ctx) AtomicallyOrElse(first, second func(tx *stm.Tx) error) (stm.Outcome, error) {
-	return c.sys.TM.AtomicallyOrElse(c, first, second)
+	tr := c.tracerSpans()
+	if !tr.Enabled() {
+		return
+	}
+	now := c.p.Now()
+	tr.End(sp, now)
+	name := "commit"
+	if !out.Committed {
+		name = "abort"
+	}
+	tr.Instant(now, c.p.Name(), "tx", name, fmt.Sprintf("attempts %d", out.Attempts), sp)
 }
 
 // traceEvent records an event when tracing is enabled.
@@ -327,4 +430,9 @@ func (c *Ctx) traceEvent(k trace.Kind, detail string) {
 }
 
 // Trace records a custom application event when tracing is enabled.
-func (c *Ctx) Trace(detail string) { c.traceEvent(trace.Custom, detail) }
+func (c *Ctx) Trace(detail string) {
+	c.traceEvent(trace.Custom, detail)
+	if tr := c.tracerSpans(); tr.Enabled() {
+		tr.Instant(c.p.Now(), c.p.Name(), "app", "app", detail, c.spanParent())
+	}
+}

@@ -70,14 +70,21 @@ func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *
 	g.ctxs = make([]*Ctx, n)
 	for i := 0; i < n; i++ {
 		i := i
+		pname := fmt.Sprintf("%s/%d", name, i)
 		ctx := &Ctx{sys: sys, g: g, idx: i, thread: pl[i]}
-		ctx.ep = sys.Net.NewEndpoint(fmt.Sprintf("%s/%d", name, i), pl[i])
+		ctx.ep = sys.Net.NewEndpoint(pname, pl[i])
+		ctx.prof = sys.Obs.Profiler().Proc(pname)
 		sys.M.Bind(pl[i])
 		g.ctxs[i] = ctx
-		ctx.p = sys.K.Spawn(fmt.Sprintf("%s/%d", name, i), func(p *sim.Proc) {
+		ctx.p = sys.K.Spawn(pname, func(p *sim.Proc) {
 			ctx.start = p.Now()
+			if tr := sys.Obs.Tracer(); tr.Enabled() {
+				ctx.procSpan = tr.Begin(ctx.start, pname, "proc", pname, 0)
+			}
 			defer func() {
 				ctx.end = p.Now()
+				sys.Obs.Tracer().End(ctx.procSpan, ctx.end)
+				ctx.prof.Finish(ctx.end - ctx.start)
 				sys.M.Release(ctx.thread)
 			}()
 			body(ctx)

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// roundTimeBounds buckets per-round execution times: exponential from 1
+// tick, doubling, 16 buckets (covers 1..32768 ticks, overflow beyond).
+var roundTimeBounds = stats.ExpBounds(1, 2, 16)
+
+// CollectMetrics publishes end-of-run aggregates into the attached
+// metrics registry: STM commit/abort traffic, network load, per-region
+// memory contention, per-group T/E/P with operation counts, a
+// round-time histogram per group, and the profiler's per-process time
+// breakdown. Idempotent — every metric is a gauge Set (or a histogram
+// rebuilt from scratch), so calling it twice does not double-count.
+// No-op without a registry.
+func (sys *System) CollectMetrics() {
+	r := sys.Obs.Registry()
+	if r == nil {
+		return
+	}
+
+	// Transactional memory.
+	r.Gauge("stamp_stm_commits", "Committed top-level transactions.").Set(float64(sys.TM.Commits()))
+	r.Gauge("stamp_stm_aborts", "Aborted transaction attempts (rollbacks).").Set(float64(sys.TM.Aborts()))
+	r.Gauge("stamp_stm_abort_rate", "Aborts over total attempts.").Set(sys.TM.AbortRate())
+
+	// Message-passing network.
+	r.Gauge("stamp_net_messages_delivered", "Messages delivered.").Set(float64(sys.Net.Delivered()))
+	r.Gauge("stamp_net_wire_ticks", "Summed in-flight message latency.").Set(float64(sys.Net.WireTicks()))
+	r.Gauge("stamp_net_occupancy_ticks", "Summed sender/receiver bandwidth occupancy.").Set(sys.Net.OccupancyTicks())
+	r.Gauge("stamp_net_max_inbox_depth", "Deepest mailbox backlog observed.").Set(float64(sys.Net.MaxInboxDepth()))
+
+	// Shared-memory regions.
+	for _, rs := range sys.Mem.RegionStats() {
+		rl := obs.L("region", rs.Name)
+		r.Gauge("stamp_mem_reads", "Serialized shared reads per region.", rl).Set(float64(rs.Reads))
+		r.Gauge("stamp_mem_writes", "Serialized shared writes per region.", rl).Set(float64(rs.Writes))
+		r.Gauge("stamp_mem_stalled_accesses", "Accesses that queued behind a busy location.", rl).Set(float64(rs.Stalled))
+		r.Gauge("stamp_mem_stall_ticks", "Total queueing time (measured kappa input).", rl).Set(float64(rs.StallTicks))
+		r.Gauge("stamp_mem_max_queue_depth", "Deepest per-location service queue observed.", rl).Set(float64(rs.MaxQueueDepth))
+	}
+
+	// Groups: the paper's T (max), E (sum), P (E/T) plus op counts and
+	// the distribution of per-round times.
+	for _, g := range sys.groups {
+		rep := g.Report()
+		gl := obs.L("group", g.name)
+		r.Gauge("stamp_group_procs", "Group size.", gl).Set(float64(rep.N))
+		r.Gauge("stamp_group_time_ticks", "Group execution time T (max over members).", gl).Set(float64(rep.T()))
+		r.Gauge("stamp_group_energy", "Group energy E (sum over members).", gl).Set(rep.E())
+		r.Gauge("stamp_group_power", "Group mean power P = E/T.", gl).Set(rep.Power())
+		ops := rep.Ops
+		r.Gauge("stamp_group_fp_ops", "Floating-point operations.", gl).Set(float64(ops.FpOps))
+		r.Gauge("stamp_group_int_ops", "Integer operations.", gl).Set(float64(ops.IntOps))
+		r.Gauge("stamp_group_shared_reads", "Shared-memory reads (intra+inter).", gl).Set(float64(ops.ReadsIntra + ops.ReadsInter))
+		r.Gauge("stamp_group_shared_writes", "Shared-memory writes (intra+inter).", gl).Set(float64(ops.WritesIntra + ops.WritesInter))
+		r.Gauge("stamp_group_sends", "Messages sent (intra+inter).", gl).Set(float64(ops.SendsIntra + ops.SendsInter))
+		r.Gauge("stamp_group_recvs", "Messages received (intra+inter).", gl).Set(float64(ops.RecvsIntra + ops.RecvsInter))
+		r.Gauge("stamp_group_tx_commits", "Transaction commits by members.", gl).Set(float64(ops.TxCommits))
+		r.Gauge("stamp_group_tx_aborts", "Transaction aborts charged to members.", gl).Set(float64(ops.TxAborts))
+		r.Gauge("stamp_group_queue_wait_ticks", "Summed member queueing time.", gl).Set(float64(ops.QueueWait))
+
+		h := r.Histogram("stamp_round_time_ticks", "Per-round execution times across members.", roundTimeBounds, gl)
+		h.Reset()
+		for _, c := range g.ctxs {
+			for _, rec := range c.rounds {
+				h.Observe(float64(rec.T()))
+			}
+		}
+	}
+
+	// Placement: which hardware thread each process is bound to.
+	for _, g := range sys.groups {
+		for _, c := range g.ctxs {
+			r.Gauge("stamp_proc_thread", "Hardware thread the process is bound to.",
+				obs.L("group", g.name), obs.L("idx", strconv.Itoa(c.idx))).Set(float64(c.thread))
+		}
+	}
+
+	sys.Obs.Profiler().Collect(r)
+}

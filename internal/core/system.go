@@ -11,6 +11,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memory"
 	"repro/internal/msgpass"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stm"
 	"repro/internal/trace"
@@ -30,6 +31,11 @@ type System struct {
 	// (S-round boundaries, communication, transaction outcomes).
 	Tracer *trace.Recorder
 
+	// Obs, when non-nil, carries the observability sinks (metrics
+	// registry, span tracer, virtual-time profiler). Every sink is
+	// independently optional and its nil form is a no-op.
+	Obs *obs.Observer
+
 	groups []*Group
 }
 
@@ -45,6 +51,11 @@ func WithContentionManager(m stm.ContentionManager) Option {
 // WithTracer attaches an execution-event recorder.
 func WithTracer(r *trace.Recorder) Option {
 	return func(s *System) { s.Tracer = r }
+}
+
+// WithObs attaches an observability bundle (metrics, spans, profiler).
+func WithObs(o *obs.Observer) Option {
+	return func(s *System) { s.Obs = o }
 }
 
 // NewSystem builds a System on a fresh kernel for machine configuration

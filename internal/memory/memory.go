@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,9 @@ type Agent interface {
 	// HoldCost charges virtual time, accumulating fractional ticks
 	// deterministically.
 	HoldCost(ticks float64)
+	// Profile returns the process's virtual-time profile sink, or nil
+	// when profiling is disabled (the nil profile is a no-op).
+	Profile() *obs.ProcProfile
 }
 
 // Scope says which level of the memory hierarchy backs a region, which
@@ -64,6 +68,23 @@ type Memory struct {
 type regionInfo struct {
 	name  string
 	words int
+	stats func() RegionStats
+}
+
+// RegionStats is one region's access/contention summary, exported for
+// the metrics registry.
+type RegionStats struct {
+	Name          string
+	Words         int
+	Scope         Scope
+	Reads, Writes int64
+	// Stalled counts accesses that found their location busy; StallTicks
+	// is the total time those accesses queued (the measured κ input).
+	Stalled    int64
+	StallTicks sim.Time
+	// MaxQueueDepth is the deepest per-location service queue observed,
+	// in outstanding service slots.
+	MaxQueueDepth int64
 }
 
 // New creates the memory subsystem for machine m.
@@ -83,6 +104,16 @@ func (mem *Memory) Regions() []string {
 	return out
 }
 
+// RegionStats returns the per-region access and contention summaries
+// in allocation order.
+func (mem *Memory) RegionStats() []RegionStats {
+	out := make([]RegionStats, 0, len(mem.regions))
+	for _, r := range mem.regions {
+		out = append(out, r.stats())
+	}
+	return out
+}
+
 // Region is a fixed-size array of shared words of type T with
 // per-location access queues.
 type Region[T any] struct {
@@ -94,6 +125,9 @@ type Region[T any] struct {
 	nextFree []sim.Time
 	reads    int64
 	writes   int64
+	stalled  int64
+	stallT   sim.Time
+	maxDepth int64
 }
 
 // NewRegion allocates a shared region of n words. For Intra scope,
@@ -106,8 +140,7 @@ func NewRegion[T any](mem *Memory, name string, scope Scope, homeCore, n int) *R
 	if scope == Intra && (homeCore < 0 || homeCore >= mem.m.Cfg.NumCores()) {
 		panic(fmt.Sprintf("memory: home core %d out of range", homeCore))
 	}
-	mem.regions = append(mem.regions, regionInfo{name: name, words: n})
-	return &Region[T]{
+	r := &Region[T]{
 		mem:      mem,
 		name:     name,
 		scope:    scope,
@@ -115,6 +148,16 @@ func NewRegion[T any](mem *Memory, name string, scope Scope, homeCore, n int) *R
 		vals:     make([]T, n),
 		nextFree: make([]sim.Time, n),
 	}
+	// The stats closure erases the type parameter so Memory can
+	// enumerate regions of any element type.
+	mem.regions = append(mem.regions, regionInfo{name: name, words: n, stats: func() RegionStats {
+		return RegionStats{
+			Name: r.name, Words: len(r.vals), Scope: r.scope,
+			Reads: r.reads, Writes: r.writes,
+			Stalled: r.stalled, StallTicks: r.stallT, MaxQueueDepth: r.maxDepth,
+		}
+	}})
+	return r
 }
 
 // Name returns the region's name.
@@ -152,6 +195,13 @@ func (r *Region[T]) access(a Agent, i int) bool {
 	r.nextFree[i] = start + r.mem.ServiceTime
 	if wait := start - now; wait > 0 {
 		a.Counters().QueueWait += wait
+		r.stalled++
+		r.stallT += wait
+		if st := r.mem.ServiceTime; st > 0 {
+			if depth := int64((wait + st - 1) / st); depth > r.maxDepth {
+				r.maxDepth = depth
+			}
+		}
 		p.Hold(wait)
 	}
 
@@ -164,6 +214,7 @@ func (r *Region[T]) access(a Agent, i int) bool {
 		p.Hold(c.EllE)
 		a.HoldCost(c.GShE)
 	}
+	a.Profile().Charge(obs.CatMemWait, p.Now()-now)
 	return intra
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -20,6 +21,9 @@ type Agent interface {
 	Thread() machine.ThreadID
 	Counters() *energy.Counters
 	HoldCost(ticks float64)
+	// Profile returns the process's virtual-time profile sink, or nil
+	// when profiling is disabled (the nil profile is a no-op).
+	Profile() *obs.ProcProfile
 }
 
 // Message is a delivered payload plus provenance.
@@ -38,6 +42,9 @@ type Network struct {
 	m *machine.Machine
 
 	delivered int64
+	wireTicks sim.Time // summed in-flight latency of all messages
+	occupancy float64  // summed sender/receiver bandwidth charges
+	maxInbox  int      // deepest inbox observed at any delivery
 	endpoints []*Endpoint
 }
 
@@ -51,6 +58,18 @@ func (n *Network) Machine() *machine.Machine { return n.m }
 
 // Delivered returns the total number of messages delivered so far.
 func (n *Network) Delivered() int64 { return n.delivered }
+
+// WireTicks returns the summed in-flight latency (L plus long-message
+// serialization) of every message sent so far.
+func (n *Network) WireTicks() sim.Time { return n.wireTicks }
+
+// OccupancyTicks returns the summed bandwidth (g) occupancy charged to
+// senders and receivers, in fractional ticks.
+func (n *Network) OccupancyTicks() float64 { return n.occupancy }
+
+// MaxInboxDepth returns the deepest mailbox backlog observed at any
+// delivery instant — a router/endpoint congestion indicator.
+func (n *Network) MaxInboxDepth() int { return n.maxInbox }
 
 // Endpoint is one process's mailbox. Create one per process with the
 // hardware thread the process is bound to.
@@ -122,11 +141,15 @@ func (e *Endpoint) SendSized(a Agent, dst *Endpoint, payload any, words int) sim
 	// (plus the long-message serialization) is sender occupancy, paid
 	// after injection (the model adds the L and g terms independently
 	// in T_S-round).
-	m := Message{From: e, Payload: payload, Words: words, SentAt: a.Proc().Now()}
+	p := a.Proc()
+	m := Message{From: e, Payload: payload, Words: words, SentAt: p.Now()}
 	wire := delay + sim.Time(extra)
 	arrive := m.SentAt + wire
 	e.net.deliverAt(e.net.m.K, dst, m, wire)
+	e.net.wireTicks += wire
+	e.net.occupancy += g + extra
 	a.HoldCost(g + extra)
+	a.Profile().Charge(obs.CatMsgWait, p.Now()-m.SentAt)
 	return arrive
 }
 
@@ -138,6 +161,7 @@ func (e *Endpoint) SendSync(a Agent, dst *Endpoint, payload any) {
 	p := a.Proc()
 	if wait := arrive - p.Now(); wait > 0 {
 		p.Hold(wait)
+		a.Profile().Charge(obs.CatMsgWait, wait)
 	}
 }
 
@@ -146,6 +170,9 @@ func (n *Network) deliverAt(k *sim.Kernel, dst *Endpoint, m Message, delay sim.T
 	k.Schedule(delay, func() {
 		m.Arrived = k.Now()
 		dst.inbox = append(dst.inbox, m)
+		if len(dst.inbox) > n.maxInbox {
+			n.maxInbox = len(dst.inbox)
+		}
 		n.delivered++
 		dst.rq.Signal(k)
 	})
@@ -155,6 +182,7 @@ func (n *Network) deliverAt(k *sim.Kernel, dst *Endpoint, m Message, delay sim.T
 // then removes and returns the oldest one, charging receive cost.
 func (e *Endpoint) Recv(a Agent) Message {
 	p := a.Proc()
+	t0 := p.Now()
 	for len(e.inbox) == 0 {
 		before := p.Now()
 		e.rq.Wait(p)
@@ -175,7 +203,9 @@ func (e *Endpoint) Recv(a Agent) Message {
 	if m.Words > 1 {
 		extra = float64(m.Words-1) * e.net.m.Cfg.Costs.GMpWord
 	}
+	e.net.occupancy += g + extra
 	a.HoldCost(g + extra)
+	a.Profile().Charge(obs.CatMsgWait, p.Now()-t0)
 	return m
 }
 

@@ -1,0 +1,34 @@
+package obs
+
+import "repro/internal/stats"
+
+// Drift is one predicted-vs-measured comparison of a model quantity.
+type Drift struct {
+	App       string  // workload, e.g. "jacobi"
+	Metric    string  // quantity, e.g. "T", "E", "P"
+	Predicted float64 // closed-form §3.1/§4 prediction
+	Measured  float64 // simulator measurement
+}
+
+// RelErr returns |measured−predicted|/|predicted| (0 for a zero
+// prediction).
+func (d Drift) RelErr() float64 { return stats.RelErr(d.Measured, d.Predicted) }
+
+// RecordDrift publishes a predicted-vs-measured pair as first-class
+// gauges, so divergence between the analytical cost model and the
+// simulator is a scrapeable observable:
+//
+//	stamp_model_predicted{app,metric}
+//	stamp_model_measured{app,metric}
+//	stamp_model_drift_relerr{app,metric}
+func RecordDrift(r *Registry, app, metric string, predicted, measured float64) Drift {
+	d := Drift{App: app, Metric: metric, Predicted: predicted, Measured: measured}
+	if r == nil {
+		return d
+	}
+	ls := []Label{L("app", app), L("metric", metric)}
+	r.Gauge("stamp_model_predicted", "Closed-form cost-model prediction.", ls...).Set(predicted)
+	r.Gauge("stamp_model_measured", "Simulator measurement of the predicted quantity.", ls...).Set(measured)
+	r.Gauge("stamp_model_drift_relerr", "Relative error |measured-predicted|/|predicted|.", ls...).Set(d.RelErr())
+	return d
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordDriftPublishesGauges(t *testing.T) {
+	r := NewRegistry()
+	d := RecordDrift(r, "jacobi", "T_sround", 200, 180)
+	if got := d.RelErr(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("relerr %v, want 0.1", got)
+	}
+	ls := []Label{L("app", "jacobi"), L("metric", "T_sround")}
+	if got := r.Gauge("stamp_model_predicted", "", ls...).Value(); got != 200 {
+		t.Fatalf("predicted %v", got)
+	}
+	if got := r.Gauge("stamp_model_measured", "", ls...).Value(); got != 180 {
+		t.Fatalf("measured %v", got)
+	}
+	if got := r.Gauge("stamp_model_drift_relerr", "", ls...).Value(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("drift gauge %v", got)
+	}
+}
+
+func TestRecordDriftNilRegistry(t *testing.T) {
+	d := RecordDrift(nil, "a", "m", 10, 12)
+	if math.Abs(d.RelErr()-0.2) > 1e-12 {
+		t.Fatalf("relerr %v", d.RelErr())
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileFinishSumsToTotal(t *testing.T) {
+	p := &ProcProfile{Name: "w/0"}
+	p.Charge(CatCompute, 40)
+	p.Charge(CatMemWait, 25)
+	p.Charge(CatBarrier, 10)
+	p.Finish(100)
+	if p.Cats[CatOther] != 25 {
+		t.Fatalf("other = %d, want 25", p.Cats[CatOther])
+	}
+	if p.Sum() != p.Total || p.Total != 100 {
+		t.Fatalf("sum %d total %d, want both 100", p.Sum(), p.Total)
+	}
+}
+
+func TestProfileFinishPanicsOnOverAttribution(t *testing.T) {
+	p := &ProcProfile{Name: "w/0"}
+	p.Charge(CatCompute, 101)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-attribution did not panic")
+		}
+	}()
+	p.Finish(100)
+}
+
+func TestMoveSinceReattributesOnlyTheDelta(t *testing.T) {
+	p := &ProcProfile{}
+	p.Charge(CatCompute, 10)
+	snap := p.Snapshot()
+	p.Charge(CatCompute, 5)
+	p.Charge(CatMemWait, 3)
+	p.MoveSince(snap, CatTxRetry)
+	if p.Cats[CatCompute] != 10 || p.Cats[CatMemWait] != 0 || p.Cats[CatTxRetry] != 8 {
+		t.Fatalf("after move: %+v", p.Cats)
+	}
+}
+
+func TestFoldSinceAddsUnattributedRemainder(t *testing.T) {
+	p := &ProcProfile{}
+	snap := p.Snapshot()
+	p.Charge(CatMemWait, 3)
+	// 7 elapsed ticks total: 3 were attributed (memwait), 4 were plain
+	// holds — all 7 must land in txretry.
+	p.FoldSince(snap, 7, CatTxRetry)
+	if p.Cats[CatTxRetry] != 7 || p.Cats[CatMemWait] != 0 {
+		t.Fatalf("after fold: %+v", p.Cats)
+	}
+}
+
+func TestNilProfileIsNoop(t *testing.T) {
+	var p *ProcProfile
+	p.Charge(CatCompute, 5)
+	p.MoveSince(p.Snapshot(), CatTxRetry)
+	p.FoldSince(CatTimes{}, 3, CatTxRetry)
+	p.Finish(10)
+	if p.Sum() != 0 || p.Attributed() != 0 {
+		t.Fatal("nil profile accumulated time")
+	}
+}
+
+func TestProfilerTableAndHotspots(t *testing.T) {
+	pf := NewProfiler()
+	a := pf.Proc("w/0")
+	a.Charge(CatCompute, 90)
+	a.Charge(CatMemWait, 10)
+	a.Finish(100)
+	b := pf.Proc("w/1")
+	b.Charge(CatCompute, 20)
+	b.Charge(CatMsgWait, 70)
+	b.Finish(100)
+
+	tab := pf.Table()
+	for _, want := range []string{"w/0", "w/1", "(all)", "compute", "msgwait"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+	hot := pf.Hotspots(1)
+	if !strings.Contains(hot, "w/1") || !strings.Contains(hot, "msgwait") {
+		t.Fatalf("hotspots should rank w/1 by msgwait:\n%s", hot)
+	}
+}
+
+func TestProfilerProcFindOrCreate(t *testing.T) {
+	pf := NewProfiler()
+	if pf.Proc("x") != pf.Proc("x") {
+		t.Fatal("Proc did not return the same profile")
+	}
+	if got := len(pf.Profiles()); got != 1 {
+		t.Fatalf("profiles %d, want 1", got)
+	}
+	var nilPf *Profiler
+	if nilPf.Proc("x") != nil {
+		t.Fatal("nil profiler returned a profile")
+	}
+}
+
+func TestProfilerCollectPublishesGauges(t *testing.T) {
+	pf := NewProfiler()
+	p := pf.Proc("w/0")
+	p.Charge(CatCompute, 30)
+	p.Finish(50)
+	r := NewRegistry()
+	pf.Collect(r)
+	if got := r.Gauge("stamp_proc_total_ticks", "", L("proc", "w/0")).Value(); got != 50 {
+		t.Fatalf("total gauge %v, want 50", got)
+	}
+	if got := r.Gauge("stamp_proc_time_ticks", "", L("proc", "w/0"), L("cat", "other")).Value(); got != 20 {
+		t.Fatalf("other gauge %v, want 20", got)
+	}
+}

@@ -1,0 +1,382 @@
+// Package obs is the observability layer of the STAMP simulator: a
+// metrics registry (counters, gauges, fixed-bucket histograms with
+// Prometheus-text and JSON exposition), a span-based tracer exporting
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing),
+// a virtual-time profiler that decomposes each process's wall time
+// into attributable categories, and model-drift gauges comparing the
+// closed-form §3.1 predictions against measurements.
+//
+// Everything is opt-in: a nil Registry / Tracer / Profiler (or a nil
+// metric handle) is a valid no-op receiver, so the simulation hot path
+// stays allocation-free when observability is disabled.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// MetricType classifies a metric family.
+type MetricType int
+
+// Metric family types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String returns the Prometheus TYPE name.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("MetricType(%d)", int(t))
+}
+
+// Label is one key=value metric dimension (e.g. proc="jacobi/0").
+type Label struct{ Key, Value string }
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// sample is one labeled series within a family.
+type sample struct {
+	labels []Label
+	val    float64
+	hist   *stats.Histogram
+}
+
+// family is one named metric with its labeled samples.
+type family struct {
+	name, help string
+	typ        MetricType
+	bounds     []float64 // histogram bucket bounds
+	samples    map[string]*sample
+	order      []string // label-key insertion order, sorted at export
+}
+
+// Registry holds metric families. The zero value is unusable; use
+// NewRegistry. A nil *Registry is a valid disabled registry: every
+// lookup returns a nil handle whose operations are no-ops.
+type Registry struct {
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// labelKey renders labels canonically (sorted by key) for map lookup.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup finds or creates the (family, sample) pair.
+func (r *Registry) lookup(name, help string, typ MetricType, bounds []float64, labels []Label) *sample {
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds,
+			samples: map[string]*sample{}}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, typ, f.typ))
+	}
+	key := labelKey(labels)
+	s := f.samples[key]
+	if s == nil {
+		ls := append([]Label(nil), labels...)
+		sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+		s = &sample{labels: ls}
+		if typ == TypeHistogram {
+			s.hist = stats.NewHistogram(f.bounds)
+		}
+		f.samples[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric handle. The zero value
+// (and any handle from a nil registry) is a disabled no-op.
+type Counter struct{ s *sample }
+
+// Counter finds or creates a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r.lookup(name, help, TypeCounter, nil, labels)}
+}
+
+// Add increments the counter by d (no-op when disabled; negative
+// deltas panic — counters only go up).
+func (c Counter) Add(d float64) {
+	if c.s == nil {
+		return
+	}
+	if d < 0 {
+		panic("obs: counter decremented")
+	}
+	c.s.val += d
+}
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 when disabled).
+func (c Counter) Value() float64 {
+	if c.s == nil {
+		return 0
+	}
+	return c.s.val
+}
+
+// Gauge is a set-anywhere metric handle. The zero value is a disabled
+// no-op.
+type Gauge struct{ s *sample }
+
+// Gauge finds or creates a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r.lookup(name, help, TypeGauge, nil, labels)}
+}
+
+// Set stores v (no-op when disabled).
+func (g Gauge) Set(v float64) {
+	if g.s == nil {
+		return
+	}
+	g.s.val = v
+}
+
+// Add adjusts the gauge by d.
+func (g Gauge) Add(d float64) {
+	if g.s == nil {
+		return
+	}
+	g.s.val += d
+}
+
+// Value returns the current value (0 when disabled).
+func (g Gauge) Value() float64 {
+	if g.s == nil {
+		return 0
+	}
+	return g.s.val
+}
+
+// Histogram is a fixed-bucket distribution handle backed by
+// stats.Histogram. The zero value is a disabled no-op.
+type Histogram struct{ s *sample }
+
+// Histogram finds or creates a histogram series. The first
+// registration of a name fixes its bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	return Histogram{r.lookup(name, help, TypeHistogram, bounds, labels)}
+}
+
+// Observe records one sample (no-op when disabled).
+func (h Histogram) Observe(x float64) {
+	if h.s == nil {
+		return
+	}
+	h.s.hist.Observe(x)
+}
+
+// Reset clears the histogram's observations, keeping its bounds — for
+// collectors that rebuild a distribution from scratch idempotently.
+func (h Histogram) Reset() {
+	if h.s == nil {
+		return
+	}
+	h.s.hist.Reset()
+}
+
+// Sketch returns the underlying histogram (nil when disabled).
+func (h Histogram) Sketch() *stats.Histogram {
+	if h.s == nil {
+		return nil
+	}
+	return h.s.hist
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels renders {k="v",...} (empty string for no labels), with
+// an optional extra label appended (used for histogram le).
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fnum renders a metric value the way Prometheus expects (shortest
+// round-trip form).
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format, families and series in deterministic order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.fams[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			s := f.samples[key]
+			if f.typ != TypeHistogram {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), fnum(s.val)); err != nil {
+					return err
+				}
+				continue
+			}
+			var cum int64
+			for i, bound := range s.hist.Bounds {
+				cum += s.hist.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, renderLabels(s.labels, L("le", fnum(bound))), cum); err != nil {
+					return err
+				}
+			}
+			cum += s.hist.Counts[len(s.hist.Bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, renderLabels(s.labels, L("le", "+Inf")), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(s.labels), fnum(s.hist.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(s.labels), s.hist.N); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonSample / jsonFamily are the JSON exposition shapes.
+type jsonSample struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	// Histogram-only fields.
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+	P50     float64   `json:"p50,omitempty"`
+	P90     float64   `json:"p90,omitempty"`
+	P99     float64   `json:"p99,omitempty"`
+}
+
+type jsonFamily struct {
+	Name    string       `json:"name"`
+	Type    string       `json:"type"`
+	Help    string       `json:"help,omitempty"`
+	Samples []jsonSample `json:"samples"`
+}
+
+// WriteJSON writes the registry as a JSON array of metric families in
+// deterministic order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := []jsonFamily{}
+	if r != nil {
+		names := append([]string(nil), r.order...)
+		sort.Strings(names)
+		for _, name := range names {
+			f := r.fams[name]
+			jf := jsonFamily{Name: f.name, Type: f.typ.String(), Help: f.help}
+			keys := append([]string(nil), f.order...)
+			sort.Strings(keys)
+			for _, key := range keys {
+				s := f.samples[key]
+				js := jsonSample{}
+				if len(s.labels) > 0 {
+					js.Labels = map[string]string{}
+					for _, l := range s.labels {
+						js.Labels[l.Key] = l.Value
+					}
+				}
+				if f.typ == TypeHistogram {
+					js.Count = s.hist.N
+					js.Sum = s.hist.Sum
+					js.Bounds = s.hist.Bounds
+					js.Buckets = s.hist.Counts
+					js.P50, js.P90, js.P99 = s.hist.P50(), s.hist.P90(), s.hist.P99()
+				} else {
+					js.Value = s.val
+				}
+				jf.Samples = append(jf.Samples, js)
+			}
+			out = append(out, jf)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SpanID identifies a span within one Tracer; 0 means "no span" (root).
+type SpanID int64
+
+// SpanKind separates duration spans from point events.
+type SpanKind int
+
+// Span kinds.
+const (
+	SpanComplete SpanKind = iota // has Start and End
+	SpanInstant                  // a point event (End == Start)
+)
+
+// Span is one causally-nested slice of a process's execution:
+// process → S-unit → S-round → op, linked by Parent IDs.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Proc   string
+	Cat    string // "proc" | "unit" | "round" | "msg" | "tx" | "barrier" | "app"
+	Name   string
+	Detail string
+	Kind   SpanKind
+	Start  sim.Time
+	End    sim.Time // == Start while open or for instants
+	open   bool
+}
+
+// T returns the span duration.
+func (s Span) T() sim.Time { return s.End - s.Start }
+
+// Tracer records causal spans. A nil *Tracer is a valid disabled
+// tracer (Begin returns 0, End/Instant are no-ops). Not safe for host
+// concurrency — the simulation kernel is sequential by construction.
+type Tracer struct {
+	spans []Span
+}
+
+// NewTracer returns an empty enabled span tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enabled reports whether spans are being kept.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Begin opens a span under parent (0 for a root span) and returns its
+// ID.
+func (t *Tracer) Begin(at sim.Time, proc, cat, name string, parent SpanID) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Proc: proc, Cat: cat, Name: name,
+		Kind: SpanComplete, Start: at, End: at, open: true,
+	})
+	return id
+}
+
+// End closes the span. Closing span 0 (or on a nil tracer) is a no-op.
+func (t *Tracer) End(id SpanID, at sim.Time) {
+	if t == nil || id <= 0 || int(id) > len(t.spans) {
+		return
+	}
+	s := &t.spans[id-1]
+	if !s.open {
+		return
+	}
+	s.End = at
+	s.open = false
+}
+
+// Instant records a point event under parent.
+func (t *Tracer) Instant(at sim.Time, proc, cat, name, detail string, parent SpanID) {
+	if t == nil {
+		return
+	}
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Proc: proc, Cat: cat, Name: name,
+		Detail: detail, Kind: SpanInstant, Start: at, End: at,
+	})
+}
+
+// Spans returns all recorded spans in creation order. Still-open spans
+// report End == their Start.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// chromeEvent is one Chrome trace-event JSON object. Field order here
+// fixes the exported key order (golden-file stable).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  *int64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the containing object Perfetto / chrome://tracing load.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the spans as Chrome trace-event JSON: one
+// complete ("X") event per span with ts/dur in virtual ticks
+// (rendered as microseconds by the viewers), instant ("i") events for
+// point occurrences, and thread-name metadata so each simulated
+// process gets its own named track. The output loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	var evs []chromeEvent
+	tids := map[string]int{}
+	tidOf := func(proc string) int {
+		id, ok := tids[proc]
+		if !ok {
+			id = len(tids) + 1
+			tids[proc] = id
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+				Args: map[string]string{"name": proc},
+			})
+		}
+		return id
+	}
+	for _, s := range t.Spans() {
+		tid := tidOf(s.Proc)
+		args := map[string]string{
+			"id":     fmt.Sprintf("%d", s.ID),
+			"parent": fmt.Sprintf("%d", s.Parent),
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		switch s.Kind {
+		case SpanInstant:
+			evs = append(evs, chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "i", Ts: int64(s.Start),
+				Pid: 1, Tid: tid, S: "t", Args: args,
+			})
+		default:
+			dur := int64(s.End - s.Start)
+			evs = append(evs, chromeEvent{
+				Name: s.Name, Cat: s.Cat, Ph: "X", Ts: int64(s.Start),
+				Dur: &dur, Pid: 1, Tid: tid, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// TracerFromEvents lifts a flat event log (the legacy internal/trace
+// format, live or read back via trace.ReadJSON) into causal spans:
+// unit-start/unit-end and round-start/round-end pairs become complete
+// spans nested process → unit → round; everything else becomes an
+// instant under the innermost open span. This lets archived flat logs
+// feed the Chrome exporter.
+func TracerFromEvents(evs []trace.Event) *Tracer {
+	trace.SortEvents(evs)
+	t := NewTracer()
+	type openState struct {
+		proc, unit, round SpanID
+	}
+	open := map[string]*openState{}
+	state := func(proc string, at sim.Time) *openState {
+		st := open[proc]
+		if st == nil {
+			st = &openState{proc: t.Begin(at, proc, "proc", proc, 0)}
+			open[proc] = st
+		}
+		return st
+	}
+	for _, e := range evs {
+		st := state(e.Proc, e.At)
+		switch e.Kind {
+		case trace.UnitStart:
+			st.unit = t.Begin(e.At, e.Proc, "unit", e.Detail, st.proc)
+		case trace.UnitEnd:
+			t.End(st.unit, e.At)
+			st.unit = 0
+		case trace.RoundStart:
+			parent := st.unit
+			if parent == 0 {
+				parent = st.proc
+			}
+			st.round = t.Begin(e.At, e.Proc, "round", e.Detail, parent)
+		case trace.RoundEnd:
+			t.End(st.round, e.At)
+			st.round = 0
+		default:
+			parent := st.round
+			if parent == 0 {
+				parent = st.unit
+			}
+			if parent == 0 {
+				parent = st.proc
+			}
+			cat := "app"
+			switch e.Kind {
+			case trace.Send, trace.Recv:
+				cat = "msg"
+			case trace.TxCommit, trace.TxAbort:
+				cat = "tx"
+			case trace.BarrierWait:
+				cat = "barrier"
+			}
+			t.Instant(e.At, e.Proc, cat, e.Kind.String(), e.Detail, parent)
+		}
+	}
+	// Close any span left open at its last-seen time (the span end
+	// stays at Start, which End already handles); close proc spans at
+	// the trace horizon.
+	var horizon sim.Time
+	for _, e := range evs {
+		if e.At > horizon {
+			horizon = e.At
+		}
+	}
+	for _, st := range open {
+		t.End(st.unit, horizon)
+		t.End(st.round, horizon)
+		t.End(st.proc, horizon)
+	}
+	return t
+}

@@ -10,9 +10,11 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Job describes a group of identical STAMP processes to place.
@@ -130,6 +132,37 @@ func Allocate(cfg machine.Config, job Job, envelopePerCore float64) Decision {
 	d.Reason = fmt.Sprintf("placed %d processes on %d core(s), ≤%d per core",
 		job.N, d.CoresUsed, cap)
 	return d
+}
+
+// Record publishes the allocation decision as gauges, so placement and
+// power-envelope headroom are scrapeable alongside the run's metrics:
+//
+//	stamp_sched_feasible{job}            1 if the job was placeable
+//	stamp_sched_cores_used{job}          distinct cores in the placement
+//	stamp_sched_threads_per_core_cap{job}
+//	stamp_sched_core_power{job,core}     estimated power per used core
+//	stamp_sched_envelope_headroom{job,core}  envelope − estimated power
+//
+// No-op on a nil registry.
+func (d Decision) Record(r *obs.Registry, envelopePerCore float64) {
+	if r == nil {
+		return
+	}
+	jl := obs.L("job", d.Job.Name)
+	feasible := 0.0
+	if d.Feasible {
+		feasible = 1
+	}
+	r.Gauge("stamp_sched_feasible", "Whether the job fit under the power envelope.", jl).Set(feasible)
+	r.Gauge("stamp_sched_cores_used", "Distinct cores used by the placement.", jl).Set(float64(d.CoresUsed))
+	r.Gauge("stamp_sched_threads_per_core_cap", "Processes one core may run under the envelope.", jl).Set(float64(d.ThreadsPerCoreCap))
+	for c, p := range d.PerCorePower {
+		cl := obs.L("core", strconv.Itoa(c))
+		r.Gauge("stamp_sched_core_power", "Estimated power of the job's processes on this core.", jl, cl).Set(p)
+		if envelopePerCore > 0 {
+			r.Gauge("stamp_sched_envelope_headroom", "Per-core power envelope minus estimated power.", jl, cl).Set(envelopePerCore - p)
+		}
+	}
 }
 
 // Verify re-checks a decision against the envelope; it returns an error

@@ -15,6 +15,8 @@ type Summary struct {
 	Min, Max  float64
 	Median    float64
 	Geomean   float64 // 0 if any value ≤ 0
+	// Tail percentiles (linear interpolation between order statistics).
+	P50, P90, P99 float64
 }
 
 // Summarize computes a Summary of xs. An empty sample yields the zero
@@ -33,6 +35,9 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Median = (sorted[s.N/2-1] + sorted[s.N/2]) / 2
 	}
+	s.P50 = percentileSorted(sorted, 50)
+	s.P90 = percentileSorted(sorted, 90)
+	s.P99 = percentileSorted(sorted, 99)
 	var sum float64
 	logOK := true
 	var logSum float64
@@ -61,8 +66,8 @@ func Summarize(xs []float64) Summary {
 
 // String renders a compact summary line.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g med=%.4g max=%.4g",
-		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g med=%.4g p90=%.4g p99=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P90, s.P99, s.Max)
 }
 
 // Mean returns the arithmetic mean (0 for empty input).
@@ -83,4 +88,182 @@ func RelErr(measured, predicted float64) float64 {
 		return 0
 	}
 	return math.Abs(measured-predicted) / math.Abs(predicted)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest order statistics. An empty
+// sample yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-bucket histogram: Bounds are ascending upper
+// bounds, and observations beyond the last bound land in an implicit
+// +Inf overflow bucket. It is the shared sample-sketch of the obs
+// metrics registry and the bench harness.
+type Histogram struct {
+	Bounds []float64 // ascending upper bounds (inclusive, Prometheus-style le)
+	Counts []int64   // len(Bounds)+1: last entry is the overflow bucket
+	N      int64
+	Sum    float64
+	MinV   float64
+	MaxV   float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. It panics on empty or unsorted bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// LinearBounds returns n ascending bounds start, start+width, … .
+func LinearBounds(start, width float64, n int) []float64 {
+	if n < 1 || width <= 0 {
+		panic("stats: LinearBounds needs n ≥ 1 and width > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBounds returns n ascending bounds start, start·factor, … .
+func ExpBounds(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("stats: ExpBounds needs n ≥ 1, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	x := start
+	for i := range out {
+		out[i] = x
+		x *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+// Reset clears every observation, keeping the bucket bounds.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.N, h.Sum, h.MinV, h.MaxV = 0, 0, 0, 0
+}
+
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x) // first bound ≥ x
+	h.Counts[i]++
+	if h.N == 0 || x < h.MinV {
+		h.MinV = x
+	}
+	if h.N == 0 || x > h.MaxV {
+		h.MaxV = x
+	}
+	h.N++
+	h.Sum += x
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the containing bucket. The overflow bucket
+// reports the maximum observed value; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.N)
+	var cum int64
+	for i, c := range h.Counts {
+		if float64(cum+c) < target {
+			cum += c
+			continue
+		}
+		if i == len(h.Bounds) { // overflow bucket
+			return h.MaxV
+		}
+		lo := h.MinV
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if hi > h.MaxV {
+			hi = h.MaxV
+		}
+		if hi < lo {
+			hi = lo
+		}
+		if c == 0 {
+			return hi
+		}
+		frac := (target - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.MaxV
+}
+
+// P50 is Quantile(0.5).
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P90 is Quantile(0.9).
+func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// String renders a compact one-line sketch.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g",
+		h.N, h.Mean(), h.P50(), h.P90(), h.P99(), h.MaxV)
 }

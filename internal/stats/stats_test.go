@@ -111,3 +111,115 @@ func TestSummaryString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Fatalf("p0 %g", p)
+	}
+	if p := Percentile(xs, 100); p != 100 {
+		t.Fatalf("p100 %g", p)
+	}
+	// rank = 0.5·9 = 4.5 → halfway between 50 and 60.
+	if p := Percentile(xs, 50); math.Abs(p-55) > 1e-12 {
+		t.Fatalf("p50 %g", p)
+	}
+	// rank = 0.9·9 = 8.1 → between 90 and 100.
+	if p := Percentile(xs, 90); math.Abs(p-91) > 1e-12 {
+		t.Fatalf("p90 %g", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty p50 %g", p)
+	}
+	s := Summarize(xs)
+	if s.P50 != Percentile(xs, 50) || s.P90 != Percentile(xs, 90) || s.P99 != Percentile(xs, 99) {
+		t.Fatalf("summary percentiles: %+v", s)
+	}
+}
+
+func TestPercentileUnsortedInputAndNoMutation(t *testing.T) {
+	in := []float64{9, 1, 5}
+	if p := Percentile(in, 100); p != 9 {
+		t.Fatalf("p100 %g", p)
+	}
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, x := range []float64{0.5, 1.5, 1.6, 3, 10} {
+		h.Observe(x)
+	}
+	if h.N != 5 {
+		t.Fatalf("n %d", h.N)
+	}
+	want := []int64{1, 2, 1, 1} // ≤1, ≤2, ≤4, overflow
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d: %d want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.MinV != 0.5 || h.MaxV != 10 {
+		t.Fatalf("min/max %g/%g", h.MinV, h.MaxV)
+	}
+	if math.Abs(h.Mean()-(0.5+1.5+1.6+3+10)/5) > 1e-12 {
+		t.Fatalf("mean %g", h.Mean())
+	}
+	if h.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive, Prometheus-style
+	if h.Counts[0] != 1 || h.Counts[1] != 0 {
+		t.Fatalf("boundary bucket: %v", h.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(LinearBounds(10, 10, 10)) // 10,20,…,100
+	for x := 1.0; x <= 100; x++ {
+		h.Observe(x)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 10 {
+		t.Fatalf("p50 %g", q)
+	}
+	if q := h.P99(); math.Abs(q-99) > 10 {
+		t.Fatalf("p99 %g", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 %g", q)
+	}
+	var empty = NewHistogram([]float64{1})
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+	// Overflow-dominated histogram reports the observed max.
+	o := NewHistogram([]float64{1})
+	o.Observe(50)
+	o.Observe(70)
+	if q := o.Quantile(0.9); q != 70 {
+		t.Fatalf("overflow quantile %g", q)
+	}
+}
+
+func TestBucketBuilders(t *testing.T) {
+	lin := LinearBounds(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Fatalf("linear %v", lin)
+	}
+	exp := ExpBounds(1, 4, 3)
+	if exp[0] != 1 || exp[1] != 4 || exp[2] != 16 {
+		t.Fatalf("exp %v", exp)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds not rejected")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}

@@ -1,5 +1,7 @@
 package stm
 
+import "repro/internal/obs"
+
 // Conditional transactions in the style of composable STM: a
 // transaction body may call tx.Retry() to declare that it cannot
 // proceed in the current state (buffer full, queue empty, seat sold
@@ -50,28 +52,37 @@ func (s *STM) atomicallyAlt(a Agent, first, second func(tx *Tx) error) (Outcome,
 	var out Outcome
 	birth := s.nextBirth()
 	var karma int64
+	prof := a.Profile()
 	for attempt := 1; ; attempt++ {
 		out.Attempts = attempt
 		wantRetryBlock := false
 
 		runOne := func(body func(tx *Tx) error) (err error, aborted, retried, committed bool) {
+			snap := prof.Snapshot()
+			t0 := a.Proc().Now()
+			// Any rolled-back branch — retried, aborted, or failed
+			// commit — folds its whole elapsed cost into CatTxRetry.
+			fold := func() { prof.FoldSince(snap, a.Proc().Now()-t0, obs.CatTxRetry) }
 			tx := s.newTx(a, nil, attempt, birth, karma)
 			err, aborted, retried = runBodyRetry(tx, body)
 			if retried || aborted || tx.state == txAborted {
 				tx.state = txAborted
 				tx.releaseAll()
 				karma = tx.karma
+				fold()
 				return err, aborted, retried, false
 			}
 			if err != nil {
 				tx.state = txAborted
 				tx.releaseAll()
+				fold()
 				return err, false, false, false
 			}
 			if !tx.commitTop() {
 				tx.state = txAborted
 				tx.releaseAll()
 				karma = tx.karma
+				fold()
 				return nil, true, false, false
 			}
 			return nil, false, false, true
@@ -120,12 +131,14 @@ func (s *STM) atomicallyAlt(a Agent, first, second func(tx *Tx) error) (Outcome,
 			before := p.Now()
 			s.commitWaiters.Wait(p)
 			a.Counters().QueueWait += p.Now() - before
+			prof.Charge(obs.CatTxRetry, p.Now()-before)
 			continue
 		}
 		wait := s.Manager.Backoff(attempt) + backoffJitter(birth, attempt)
 		if wait > 0 {
 			out.Backoff += wait
 			a.Proc().Hold(wait)
+			prof.Charge(obs.CatTxRetry, wait)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,9 @@ type Agent interface {
 	Thread() machine.ThreadID
 	Counters() *energy.Counters
 	HoldCost(ticks float64)
+	// Profile returns the process's virtual-time profile sink, or nil
+	// when profiling is disabled (the nil profile is a no-op).
+	Profile() *obs.ProcProfile
 }
 
 // STM is the transactional memory of one simulated machine. Transactional
@@ -241,8 +245,11 @@ func (tx *Tx) checkAlive() {
 // class) and bumps karma.
 func (tx *Tx) chargeAccess(write bool) {
 	c := tx.s.m.Cfg.Costs
-	tx.agent.Proc().Hold(c.EllE)
+	p := tx.agent.Proc()
+	t0 := p.Now()
+	p.Hold(c.EllE)
 	tx.agent.HoldCost(c.GShE)
+	tx.agent.Profile().Charge(obs.CatMemWait, p.Now()-t0)
 	if write {
 		tx.agent.Counters().WritesInter++
 	} else {
@@ -501,8 +508,11 @@ func (s *STM) Atomically(a Agent, body func(tx *Tx) error) (Outcome, error) {
 	var out Outcome
 	birth := s.nextBirth()
 	var karma int64
+	prof := a.Profile()
 	for attempt := 1; ; attempt++ {
 		out.Attempts = attempt
+		snap := prof.Snapshot()
+		t0 := a.Proc().Now()
 		tx := s.newTx(a, nil, attempt, birth, karma)
 		err, aborted := runBody(tx, body)
 		// A force-abort after the body's last operation also voids the
@@ -519,10 +529,13 @@ func (s *STM) Atomically(a Agent, body func(tx *Tx) error) (Outcome, error) {
 			a.Counters().TxAborts++
 			out.WastedOps += tx.karma - karma
 			karma = tx.karma
+			// The whole rolled-back attempt is retried work.
+			prof.FoldSince(snap, a.Proc().Now()-t0, obs.CatTxRetry)
 			wait := s.Manager.Backoff(attempt) + backoffJitter(birth, attempt)
 			if wait > 0 {
 				out.Backoff += wait
 				a.Proc().Hold(wait)
+				prof.Charge(obs.CatTxRetry, wait)
 			}
 			continue
 		}
@@ -530,6 +543,7 @@ func (s *STM) Atomically(a Agent, body func(tx *Tx) error) (Outcome, error) {
 			// User-level abort: roll back effects, do not retry.
 			tx.state = txAborted
 			tx.releaseAll()
+			prof.FoldSince(snap, a.Proc().Now()-t0, obs.CatTxRetry)
 			out.Err = err
 			return out, err
 		}

@@ -6,7 +6,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -57,10 +59,29 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// kindNames maps the wire names used by the JSON round-trip back to
+// kinds. Keep in sync with Kind.String.
+var kindNames = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := RoundStart; k <= Custom; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// KindFromString parses a Kind wire name (the String form).
+func KindFromString(s string) (Kind, bool) {
+	k, ok := kindNames[s]
+	return k, ok
+}
+
 // Event is one recorded occurrence.
 type Event struct {
-	At     sim.Time
-	Proc   string
+	At   sim.Time
+	Proc string
+	// Seq is the recorder-assigned record sequence number: it breaks
+	// ties between equal-timestamp events deterministically.
+	Seq    int64
 	Kind   Kind
 	Detail string
 }
@@ -82,6 +103,7 @@ type Recorder struct {
 	// events are dropped and Dropped counts them.
 	Max     int
 	Dropped int64
+	seq     int64
 	events  []Event
 }
 
@@ -107,11 +129,33 @@ func (r *Recorder) Record(at sim.Time, proc string, kind Kind, detail string) {
 		r.events = r.events[:len(r.events)-1]
 		r.Dropped++
 	}
-	r.events = append(r.events, Event{At: at, Proc: proc, Kind: kind, Detail: detail})
+	r.seq++
+	r.events = append(r.events, Event{At: at, Proc: proc, Seq: r.seq, Kind: kind, Detail: detail})
 }
 
-// Events returns the recorded events in order.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns the recorded events in deterministic order: stable by
+// (time, seq, proc). Recording order already satisfies this for a live
+// simulation; the sort matters after merging streams (e.g. a JSON
+// round-trip) where equal-timestamp events could otherwise interleave
+// nondeterministically.
+func (r *Recorder) Events() []Event {
+	SortEvents(r.events)
+	return r.events
+}
+
+// SortEvents stable-sorts events by (time, seq, proc).
+func SortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Proc < b.Proc
+	})
+}
 
 // Len returns the number of stored events.
 func (r *Recorder) Len() int { return len(r.events) }
@@ -136,6 +180,50 @@ func (r *Recorder) Log() string {
 		fmt.Fprintf(&b, "(%d earlier events dropped)\n", r.Dropped)
 	}
 	return b.String()
+}
+
+// jsonEvent is the wire form of an Event: the kind travels by name so
+// logs stay readable and stable across Kind renumbering.
+type jsonEvent struct {
+	At     int64  `json:"t"`
+	Seq    int64  `json:"seq"`
+	Proc   string `json:"proc"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteJSON serializes the recorded events (sorted deterministically)
+// as a JSON array, one object per event.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	evs := r.Events()
+	out := make([]jsonEvent, len(evs))
+	for i, e := range evs {
+		out[i] = jsonEvent{At: int64(e.At), Seq: e.Seq, Proc: e.Proc,
+			Kind: e.Kind.String(), Detail: e.Detail}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a WriteJSON stream back into events (sorted
+// deterministically), so an archived flat log can feed the span-based
+// exporters in internal/obs.
+func ReadJSON(rd io.Reader) ([]Event, error) {
+	var in []jsonEvent
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, err
+	}
+	evs := make([]Event, len(in))
+	for i, je := range in {
+		k, ok := KindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+		}
+		evs[i] = Event{At: sim.Time(je.At), Seq: je.Seq, Proc: je.Proc,
+			Kind: k, Detail: je.Detail}
+	}
+	SortEvents(evs)
+	return evs, nil
 }
 
 // Timeline renders a per-process lane chart of width columns: '█' while

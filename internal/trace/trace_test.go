@@ -112,3 +112,77 @@ func TestTimelineEmpty(t *testing.T) {
 		t.Fatal("empty timeline wrong")
 	}
 }
+
+func TestEqualTimestampOrderIsDeterministic(t *testing.T) {
+	r := New(0)
+	r.Record(5, "b", Send, "first recorded")
+	r.Record(5, "a", Send, "second recorded")
+	r.Record(3, "z", Send, "earliest time")
+	evs := r.Events()
+	if evs[0].Proc != "z" {
+		t.Fatalf("time order broken: %v", evs)
+	}
+	// Equal timestamps keep recording (seq) order.
+	if evs[1].Proc != "b" || evs[2].Proc != "a" {
+		t.Fatalf("seq tiebreak broken: %v", evs)
+	}
+	if evs[1].Seq >= evs[2].Seq {
+		t.Fatalf("seq not monotone: %v", evs)
+	}
+
+	// With seqs equal (hand-merged streams), proc breaks the tie.
+	merged := []Event{
+		{At: 5, Seq: 1, Proc: "b", Kind: Send},
+		{At: 5, Seq: 1, Proc: "a", Kind: Send},
+	}
+	SortEvents(merged)
+	if merged[0].Proc != "a" {
+		t.Fatalf("proc tiebreak broken: %v", merged)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New(0)
+	r.Record(1, "w/0", RoundStart, "round 0")
+	r.Record(4, "w/0", Send, "to w/1")
+	r.Record(4, "w/1", Recv, "from w/0")
+	r.Record(9, "w/0", RoundEnd, "round 0")
+	r.Record(9, "w/1", TxAbort, "attempts 2 err conflict")
+
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip length %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsUnknownKind(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`[{"t":1,"seq":1,"proc":"p","kind":"nope"}]`))
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for k := RoundStart; k <= Custom; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Fatalf("kind %v does not round-trip", k)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Fatal("bogus kind parsed")
+	}
+}
