@@ -1,6 +1,7 @@
 GO ?= go
+DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench check fmt vet race
+.PHONY: all build test bench bench-smoke check fmt vet race
 
 all: build
 
@@ -10,8 +11,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Full benchmark sweep. -count=1 keeps one sample per benchmark so the
+# run finishes in minutes; BENCH_<date>.json records the suite
+# wall-clock via the stampbench harness for before/after comparisons
+# (see BENCH_baseline.json for the committed reference).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem -count=1 ./...
+	$(GO) run ./cmd/stampbench -bench-out BENCH_$(DATE).json > /dev/null
+
+# One iteration of every benchmark: catches benchmarks that fail or
+# regress catastrophically without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -count=1 ./... > /dev/null
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -20,9 +31,10 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/trace/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/...
 
-# The PR gate: everything must build, vet and be gofmt-clean, and the
-# observability packages must pass under the race detector.
-check: build vet fmt race
+# The PR gate: everything must build, vet and be gofmt-clean, the
+# simulator, core, experiment harness and observability packages must
+# pass under the race detector, and every benchmark must at least run.
+check: build vet fmt race bench-smoke
 	$(GO) test ./...

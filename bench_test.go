@@ -80,6 +80,10 @@ func BenchmarkJacobi_N16(b *testing.B) { benchJacobiN(b, 16) }
 func BenchmarkJacobi_N32(b *testing.B) { benchJacobiN(b, 32) }
 func BenchmarkJacobi_N64(b *testing.B) { benchJacobiN(b, 64) }
 
+// N128 is the size-up run: 128 unknowns over the 32-thread Niagara, i.e.
+// 4 rows per process — beyond the largest size the paper's table sweeps.
+func BenchmarkJacobi_N128(b *testing.B) { benchJacobiN(b, 128) }
+
 // --- E4: §4 power envelope ----------------------------------------------
 
 func BenchmarkPowerEnvelope(b *testing.B) { runExperiment(b, "envelope") }
@@ -156,6 +160,22 @@ func BenchmarkAPSP_Async(b *testing.B)          { benchAPSP(b, apsp.Async, 1) }
 func BenchmarkAPSP_BulkSync(b *testing.B)       { benchAPSP(b, apsp.BulkSync, 1) }
 func BenchmarkAPSP_AsyncSkewed(b *testing.B)    { benchAPSP(b, apsp.Async, 4) }
 func BenchmarkAPSP_BulkSyncSkewed(b *testing.B) { benchAPSP(b, apsp.BulkSync, 4) }
+
+// V32 is the size-up run: a 32-vertex graph (one process per vertex,
+// 1024-word distance matrix, each relaxation round reading all of it).
+func BenchmarkAPSP_V32(b *testing.B) {
+	g := workload.NewRandomGraph(32, 0.25, 40, 32*13)
+	var rep core.GroupReport
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(machine.Niagara())
+		res, err := apsp.Run(sys, apsp.Config{Graph: g, Mode: apsp.BulkSync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = res.Report()
+	}
+	report(b, rep)
+}
 
 // --- E8: §2.1 DVFS argument -----------------------------------------------------
 

@@ -8,7 +8,13 @@
 //	stampbench                  # run everything
 //	stampbench -experiment bank # run one experiment
 //	stampbench -list            # list experiment ids
+//	stampbench -parallel 8      # run the suite on 8 workers (0 = NumCPU)
+//	stampbench -bench-out F     # also write wall-clock timings as JSON to F
 //	stampbench -metrics-out DIR # also write DIR/<id>.prom per experiment
+//
+// Parallelism changes only wall-clock time: every experiment simulates
+// on its own kernel, so virtual-time results are identical at any
+// worker count (internal/experiments' golden test enforces this).
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -26,6 +34,8 @@ func main() {
 	exp := flag.String("experiment", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	parallel := flag.Int("parallel", 1, "worker goroutines for the full suite (0 = one per CPU; ignored with -experiment)")
+	benchOut := flag.String("bench-out", "", "write wall-clock suite timings as JSON to this file")
 	metricsDir := flag.String("metrics-out", "", "write one Prometheus-text metric dump per experiment into this directory")
 	flag.Parse()
 
@@ -36,16 +46,28 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	var results []experiments.Result
-	if *exp != "" {
+	switch {
+	case *exp != "":
 		r, err := experiments.Run(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		results = append(results, r)
-	} else {
+	case *parallel != 1:
+		results = experiments.RunAllParallel(*parallel)
+	default:
 		results = experiments.RunAll()
+	}
+	wall := time.Since(start)
+
+	if *benchOut != "" {
+		if err := writeBenchJSON(*benchOut, results, wall, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	failed := 0
@@ -82,6 +104,45 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchReport is the -bench-out JSON shape: enough host context to
+// compare runs across machines, plus per-experiment pass state and the
+// suite wall-clock. Committed snapshots (BENCH_baseline.json) use this
+// format.
+type benchReport struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoOS        string    `json:"goos"`
+	GoArch      string    `json:"goarch"`
+	NumCPU      int       `json:"num_cpu"`
+	Workers     int       `json:"workers"`
+	WallNanos   int64     `json:"wall_ns"`
+	Experiments []struct {
+		ID     string `json:"id"`
+		Passed bool   `json:"passed"`
+	} `json:"experiments"`
+}
+
+func writeBenchJSON(path string, results []experiments.Result, wall time.Duration, workers int) error {
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Workers:     workers,
+		WallNanos:   wall.Nanoseconds(),
+	}
+	for _, r := range results {
+		rep.Experiments = append(rep.Experiments, struct {
+			ID     string `json:"id"`
+			Passed bool   `json:"passed"`
+		}{r.ID, r.Passed()})
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // dumpMetrics writes one experiment's checks as a Prometheus-text

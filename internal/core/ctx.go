@@ -32,6 +32,15 @@ type Ctx struct {
 	inRound bool
 	inUnit  bool
 
+	// pend is compute time charged by FpOps/IntOps/LocalOps but not yet
+	// materialized as a kernel Hold. Batching is only ever started or
+	// extended when sim.Proc.CanCoalesce says no other event is
+	// scheduled inside the pending window — no simulation state can
+	// change while pend > 0, so deferring is invisible — and every
+	// observation point (Now, Proc, HoldCost, and through them all
+	// memory/msgpass/stm operations) flushes first.
+	pend sim.Time
+
 	roundStart sim.Time
 	roundBase  energy.Counters
 	unitStart  sim.Time
@@ -88,8 +97,13 @@ func (c *Ctx) Group() *Group { return c.g }
 // System returns the owning system.
 func (c *Ctx) System() *System { return c.sys }
 
-// Proc returns the simulated process (Agent interface).
-func (c *Ctx) Proc() *sim.Proc { return c.p }
+// Proc returns the simulated process (Agent interface). Substrates take
+// it to observe or advance the clock, so pending batched compute time is
+// materialized first.
+func (c *Ctx) Proc() *sim.Proc {
+	c.flush()
+	return c.p
+}
 
 // Thread returns the bound hardware thread (Agent interface).
 func (c *Ctx) Thread() machine.ThreadID { return c.thread }
@@ -118,8 +132,24 @@ func (c *Ctx) spanParent() obs.SpanID {
 // Endpoint returns the process's message-passing mailbox.
 func (c *Ctx) Endpoint() *msgpass.Endpoint { return c.ep }
 
-// Now returns the current virtual time.
-func (c *Ctx) Now() sim.Time { return c.p.Now() }
+// Now returns the current virtual time, materializing any pending
+// batched compute time first.
+func (c *Ctx) Now() sim.Time {
+	c.flush()
+	return c.p.Now()
+}
+
+// flush charges accumulated batched compute time as one kernel Hold.
+// The batching invariant (pend only grows while CanCoalesce holds, and
+// no other process can run in between) guarantees the Hold takes the
+// coalescing fast path, so a flush never parks.
+func (c *Ctx) flush() {
+	if c.pend > 0 {
+		d := c.pend
+		c.pend = 0
+		c.p.Hold(d)
+	}
+}
 
 // --- local computation ----------------------------------------------
 
@@ -129,6 +159,7 @@ func (c *Ctx) HoldCost(ticks float64) {
 	if ticks < 0 {
 		panic("core: negative cost")
 	}
+	c.flush()
 	c.frac += ticks
 	if c.frac >= 1 {
 		n := sim.Time(c.frac)
@@ -161,18 +192,32 @@ func (c *Ctx) IntOps(n int64) {
 // holdCompute charges n local ops of base latency t, honoring the
 // core's frequency multiplier. The homogeneous fast path holds whole
 // ticks exactly; heterogeneous cores accumulate fractional ticks.
+//
+// Consecutive charges batch into one deferred Hold (c.pend) whenever the
+// kernel certifies the extended window is uncontended — the common case
+// for compute-dense S-round phases, where it collapses a long run of
+// FpOps/IntOps calls into a single clock advance at the next
+// observation point.
 func (c *Ctx) holdCompute(n int64, t sim.Time) {
 	cfg := c.sys.M.Cfg
 	core := cfg.CoreOf(c.thread)
 	if mult := cfg.CoreMult(core); mult != 1 {
-		t0 := c.p.Now()
+		c.flush()
+		t0 := c.Now()
 		c.HoldCost(cfg.ComputeTime(core, n, float64(t)))
-		c.prof.Charge(obs.CatCompute, c.p.Now()-t0)
+		c.prof.Charge(obs.CatCompute, c.Now()-t0)
 		return
 	}
 	d := sim.Time(n) * t
-	c.p.Hold(d)
 	c.prof.Charge(obs.CatCompute, d)
+	if c.p.CanCoalesce(c.pend + d) {
+		c.pend += d
+		return
+	}
+	c.pend += d
+	d = c.pend
+	c.pend = 0
+	c.p.Hold(d)
 }
 
 // computeEnergyScale returns the per-op energy multiplier of this
@@ -196,7 +241,7 @@ func (c *Ctx) SUnit(fn func()) {
 		panic("core: S-units may not nest (an S-unit is a minimal sequential process)")
 	}
 	c.inUnit = true
-	c.unitStart = c.p.Now()
+	c.unitStart = c.Now()
 	c.unitBase = c.c
 	c.traceEvent(trace.UnitStart, fmt.Sprintf("unit %d", c.unit))
 	if tr := c.tracerSpans(); tr.Enabled() {
@@ -207,7 +252,7 @@ func (c *Ctx) SUnit(fn func()) {
 	rec := UnitRec{
 		Index:  c.unit,
 		Start:  c.unitStart,
-		End:    c.p.Now(),
+		End:    c.Now(),
 		Rounds: len(c.rounds) - roundsBefore,
 	}
 	rec.Ops = c.c
@@ -230,7 +275,7 @@ func (c *Ctx) SRound(fn func()) {
 		panic("core: S-rounds may not nest")
 	}
 	c.inRound = true
-	c.roundStart = c.p.Now()
+	c.roundStart = c.Now()
 	c.roundBase = c.c
 	c.traceEvent(trace.RoundStart, fmt.Sprintf("round %d", c.round))
 	if tr := c.tracerSpans(); tr.Enabled() {
@@ -248,7 +293,7 @@ func (c *Ctx) SRound(fn func()) {
 		Unit:  c.unit,
 		Round: c.round,
 		Start: c.roundStart,
-		End:   c.p.Now(),
+		End:   c.Now(),
 	}
 	rec.Ops = c.c
 	rec.Ops.SubFrom(c.roundBase)
@@ -263,9 +308,9 @@ func (c *Ctx) SRound(fn func()) {
 // barrierWait blocks on the group barrier, attributing the wait to
 // CatBarrier and recording it as a span/event when tracing.
 func (c *Ctx) barrierWait() {
-	before := c.p.Now()
+	before := c.Now()
 	c.g.bar.Await(c.p)
-	wait := c.p.Now() - before
+	wait := c.Now() - before
 	if wait <= 0 {
 		return
 	}
@@ -309,7 +354,7 @@ func (c *Ctx) SendTo(j int, payload any) {
 		c.traceEvent(trace.Send, "to "+dst.Name())
 	}
 	if tr := c.tracerSpans(); tr.Enabled() {
-		tr.Instant(c.p.Now(), c.p.Name(), "msg", "send", "to "+dst.Name(), c.spanParent())
+		tr.Instant(c.Now(), c.p.Name(), "msg", "send", "to "+dst.Name(), c.spanParent())
 	}
 	if c.g.attrs.Comm == SynchComm {
 		c.ep.SendSync(c, dst, payload)
@@ -324,10 +369,10 @@ func (c *Ctx) Recv() msgpass.Message {
 	var sp obs.SpanID
 	tr := c.tracerSpans()
 	if tr.Enabled() {
-		sp = tr.Begin(c.p.Now(), c.p.Name(), "msg", "recv", c.spanParent())
+		sp = tr.Begin(c.Now(), c.p.Name(), "msg", "recv", c.spanParent())
 	}
 	m := c.ep.Recv(c)
-	tr.End(sp, c.p.Now())
+	tr.End(sp, c.Now())
 	if m.From != nil && c.sys.Tracer.Enabled() {
 		c.traceEvent(trace.Recv, "from "+m.From.Name())
 	}
@@ -339,10 +384,10 @@ func (c *Ctx) RecvN(n int) []msgpass.Message {
 	var sp obs.SpanID
 	tr := c.tracerSpans()
 	if tr.Enabled() {
-		sp = tr.Begin(c.p.Now(), c.p.Name(), "msg", "recv", c.spanParent())
+		sp = tr.Begin(c.Now(), c.p.Name(), "msg", "recv", c.spanParent())
 	}
 	ms := c.ep.RecvN(c, n)
-	tr.End(sp, c.p.Now())
+	tr.End(sp, c.Now())
 	return ms
 }
 
@@ -351,7 +396,7 @@ func (c *Ctx) RecvN(n int) []msgpass.Message {
 // follow a broadcast with a barrier, as in the Jacobi example).
 func (c *Ctx) BroadcastAll(payload any) {
 	if tr := c.tracerSpans(); tr.Enabled() {
-		tr.Instant(c.p.Now(), c.p.Name(), "msg", "broadcast", fmt.Sprintf("to %d peers", c.g.n-1), c.spanParent())
+		tr.Instant(c.Now(), c.p.Name(), "msg", "broadcast", fmt.Sprintf("to %d peers", c.g.n-1), c.spanParent())
 	}
 	for j := 0; j < c.g.n; j++ {
 		if j == c.idx {
@@ -394,7 +439,7 @@ func (c *Ctx) AtomicallyOrElse(first, second func(tx *stm.Tx) error) (stm.Outcom
 // beginTxSpan opens a "tx" span when span tracing is on.
 func (c *Ctx) beginTxSpan() obs.SpanID {
 	if tr := c.tracerSpans(); tr.Enabled() {
-		return tr.Begin(c.p.Now(), c.p.Name(), "tx", "tx", c.spanParent())
+		return tr.Begin(c.Now(), c.p.Name(), "tx", "tx", c.spanParent())
 	}
 	return 0
 }
@@ -413,7 +458,7 @@ func (c *Ctx) endTxSpan(sp obs.SpanID, out stm.Outcome, err error) {
 	if !tr.Enabled() {
 		return
 	}
-	now := c.p.Now()
+	now := c.Now()
 	tr.End(sp, now)
 	name := "commit"
 	if !out.Committed {
@@ -425,7 +470,7 @@ func (c *Ctx) endTxSpan(sp obs.SpanID, out stm.Outcome, err error) {
 // traceEvent records an event when tracing is enabled.
 func (c *Ctx) traceEvent(k trace.Kind, detail string) {
 	if c.sys.Tracer.Enabled() {
-		c.sys.Tracer.Record(c.p.Now(), c.p.Name(), k, detail)
+		c.sys.Tracer.Record(c.Now(), c.p.Name(), k, detail)
 	}
 }
 
@@ -433,6 +478,6 @@ func (c *Ctx) traceEvent(k trace.Kind, detail string) {
 func (c *Ctx) Trace(detail string) {
 	c.traceEvent(trace.Custom, detail)
 	if tr := c.tracerSpans(); tr.Enabled() {
-		tr.Instant(c.p.Now(), c.p.Name(), "app", "app", detail, c.spanParent())
+		tr.Instant(c.Now(), c.p.Name(), "app", "app", detail, c.spanParent())
 	}
 }

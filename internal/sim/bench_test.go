@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernel_HoldLoop measures the hot dispatch path of the
+// simulator: a single process repeatedly advancing its clock. With no
+// competing event in the hold window this is exactly the case the
+// hold-coalescing fast path serves, so the benchmark bounds the cost of
+// charging one model operation.
+func BenchmarkKernel_HoldLoop(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("spin", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Hold(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernel_PingPong measures the full park → heap → channel
+// round-trip: two processes alternating through semaphores, so every
+// round costs two wake events and two goroutine handoffs. This is the
+// path the coalescing fast path cannot elide.
+func BenchmarkKernel_PingPong(b *testing.B) {
+	k := NewKernel()
+	sa := NewSemaphore(k, 0)
+	sb := NewSemaphore(k, 0)
+	k.Spawn("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			sa.Release()
+			sb.Acquire(p)
+		}
+	})
+	k.Spawn("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			sa.Acquire(p)
+			sb.Release()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernel_Spawn measures process creation: spawn, one hold, join.
+func BenchmarkKernel_Spawn(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("root", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c := k.Spawn("child", func(c *Proc) {
+				c.Hold(1)
+			})
+			p.Join(c)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernel_TimerDrain measures kernel-context callbacks: schedule
+// a timer, hold past it, repeat — the slow dispatch path with a non-empty
+// heap on every hold.
+func BenchmarkKernel_TimerDrain(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			k.Schedule(1, nopFn)
+			p.Hold(2)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// nopFn is package-level so scheduling it never allocates a closure.
+var nopFn = func() {}

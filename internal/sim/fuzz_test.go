@@ -73,6 +73,87 @@ func TestDeterminismFuzz(t *testing.T) {
 	}
 }
 
+// buildFastPathProgram is a generator biased toward the hold-coalescing
+// fast path: long stretches where one process owns the clock (holds with
+// an empty heap), broken up by timers landing inside, at the edge of, or
+// outside hold windows, plus Yields on empty and non-empty queues —
+// exactly the boundary cases canCoalesce discriminates. The trace logs
+// every observable (who ran, when, timer firing order).
+func buildFastPathProgram(seed int64, disableFastPath bool) []string {
+	rng := rand.New(rand.NewSource(seed))
+	k := NewKernel()
+	k.DisableFastPath = disableFastPath
+	k.MaxEvents = 200_000
+	var trace []string
+	logf := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	nProcs := 1 + rng.Intn(3)
+	for i := 0; i < nProcs; i++ {
+		i := i
+		steps := 5 + rng.Intn(15)
+		type step struct {
+			hold       Time
+			timerDelay Time // -1: no timer
+			yield      bool
+		}
+		prog := make([]step, steps)
+		for j := range prog {
+			s := &prog[j]
+			s.hold = Time(rng.Intn(8))
+			s.timerDelay = -1
+			switch rng.Intn(4) {
+			case 0:
+				s.timerDelay = s.hold // lands exactly at the hold's wake time
+			case 1:
+				s.timerDelay = Time(rng.Intn(int(s.hold) + 2)) // inside or just past
+			}
+			s.yield = rng.Intn(3) == 0
+		}
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j, s := range prog {
+				if s.timerDelay >= 0 {
+					j, d := j, s.timerDelay
+					k.Schedule(d, func() { logf("p%d timer %d at %d", i, j, k.Now()) })
+				}
+				p.Hold(s.hold)
+				logf("p%d step %d at %d", i, j, p.Now())
+				if s.yield {
+					p.Yield()
+					logf("p%d yielded %d at %d", i, j, p.Now())
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return []string{"ERR " + err.Error()}
+	}
+	return trace
+}
+
+// TestFastPathObservationalEquivalence runs the fast-path-heavy
+// generator with coalescing on and off and requires bit-equal traces:
+// the fast path may only elide machinery, never reorder or retime
+// anything observable.
+func TestFastPathObservationalEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		fast := buildFastPathProgram(seed, false)
+		slow := buildFastPathProgram(seed, true)
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return len(fast) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDifferentSeedsDiffer guards against the generator being constant.
 func TestDifferentSeedsDiffer(t *testing.T) {
 	a := buildRandomProgram(1)

@@ -1,8 +1,12 @@
 // Package sim implements a deterministic discrete-event simulation kernel.
 //
 // Simulated processes are goroutines, but the kernel enforces strictly
-// sequential execution: at any instant either the kernel or exactly one
-// process goroutine runs, with control transferred by channel handoff.
+// sequential execution: at any instant exactly one goroutine runs, with
+// control transferred by direct channel handoff. The dispatch loop is
+// not pinned to a kernel goroutine — it is a baton: the goroutine that
+// parks runs the loop itself and resumes the next runnable process
+// directly, so a park costs one goroutine switch, not two, and costs
+// none at all when the next runnable process is the parker itself.
 // Virtual time is an int64 tick counter; events are dispatched in
 // (time, sequence) order, so every run of the same program is
 // bit-for-bit reproducible regardless of host scheduling.
@@ -14,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -53,28 +56,32 @@ type Kernel struct {
 
 	procs   []*Proc
 	live    int // spawned and not yet finished
-	yield   chan yieldMsg
+	done    chan struct{}
+	err     error
+	inCall  bool // a kernel-context callback is on the stack
 	nextID  int
 	running bool
 
 	// MaxEvents bounds the number of dispatched events; 0 means no
-	// bound. Exceeding it makes Run return ErrEventLimit.
+	// bound. Exceeding it makes Run return ErrEventLimit. Coalesced
+	// holds (see Proc.Hold) count as dispatches, so the bound is
+	// independent of whether the fast path fires.
 	MaxEvents  int64
 	dispatched int64
-}
 
-// yieldMsg is what a process goroutine hands back to the kernel when it
-// gives up control.
-type yieldMsg struct {
-	p    *Proc
-	done bool
-	err  error
+	// DisableFastPath turns off the hold-coalescing fast path so every
+	// Hold takes the park → heap → channel slow path. The two modes are
+	// observationally equivalent; the flag exists so tests can assert
+	// exactly that (see fuzz_test.go).
+	DisableFastPath bool
 }
 
 // NewKernel returns an empty simulator positioned at time 0.
 func NewKernel() *Kernel {
 	return &Kernel{
-		yield: make(chan yieldMsg),
+		// Buffered so the goroutine that ends the simulation can signal
+		// Run and exit without a rendezvous.
+		done: make(chan struct{}, 1),
 	}
 }
 
@@ -90,7 +97,21 @@ func (k *Kernel) push(at Time, kind eventKind, p *Proc, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, kind: kind, proc: p, fn: fn})
+	k.events.push(event{at: at, seq: k.seq, kind: kind, proc: p, fn: fn})
+}
+
+// canCoalesce reports whether the running process may advance the clock
+// by d ticks without parking: nothing else is scheduled at or before
+// now+d (so no other event could dispatch first, and a same-time tie —
+// which FIFO order says the freshly pushed wake would lose — cannot
+// exist), and the dispatch budget has headroom to count the skipped
+// event. This is also exported through Proc.CanCoalesce so higher layers
+// can batch cost charging only when it is provably order-preserving.
+func (k *Kernel) canCoalesce(d Time) bool {
+	return k.running &&
+		!k.DisableFastPath &&
+		(k.events.Len() == 0 || k.events.min().at > k.now+d) &&
+		(k.MaxEvents <= 0 || k.dispatched < k.MaxEvents)
 }
 
 // Spawn creates a new process named name running fn and schedules its
@@ -153,6 +174,11 @@ func (e *ProcPanic) Error() string {
 // Run dispatches events until no process remains live and the event
 // queue is empty, and returns nil; or returns the first error:
 // a process panic, a deadlock, or the event limit.
+//
+// Run's goroutine is not the dispatcher. It seeds the baton — the right
+// to run the dispatch loop — and then waits for whichever goroutine
+// ends the simulation to signal completion. The baton passes directly
+// from the goroutine that parks to the goroutine it wakes.
 func (k *Kernel) Run() error {
 	if k.running {
 		panic("sim: Kernel.Run is not reentrant")
@@ -160,65 +186,78 @@ func (k *Kernel) Run() error {
 	k.running = true
 	defer func() { k.running = false }()
 
+	k.err = nil
+	k.dispatch(nil)
+	<-k.done
+	return k.err
+}
+
+// dispatch runs the event loop while the calling goroutine holds the
+// scheduler baton. self is the process whose goroutine is calling (nil
+// from Run or from a finished process). It returns true when the next
+// runnable process is self — the caller resumes in place with no
+// channel handoff at all — and false after passing the baton to another
+// goroutine or ending the simulation via finish.
+//
+// The pop sequence and event handling are identical to a centralized
+// loop; only the goroutine executing them differs, so dispatch order —
+// and therefore every virtual-time result — is unchanged.
+func (k *Kernel) dispatch(self *Proc) bool {
 	for {
 		if k.events.Len() == 0 {
 			if k.live == 0 {
-				return nil
+				k.finish(nil)
+			} else {
+				k.finish(&ErrDeadlock{At: k.now, Blocked: k.blockedNames()})
 			}
-			return &ErrDeadlock{At: k.now, Blocked: k.blockedNames()}
+			return false
 		}
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.events.pop()
 		k.dispatched++
 		if k.MaxEvents > 0 && k.dispatched > k.MaxEvents {
-			return &ErrEventLimit{Limit: k.MaxEvents}
+			k.finish(&ErrEventLimit{Limit: k.MaxEvents})
+			return false
 		}
 		k.now = ev.at
 
 		switch ev.kind {
 		case evCall:
+			// inCall distinguishes a callback panic (a kernel-context
+			// bug that must crash, as an unrecovered panic did under
+			// the centralized loop) from a process-body panic (reported
+			// as ProcPanic); see Proc.run.
+			k.inCall = true
 			ev.fn()
+			k.inCall = false
 		case evStart:
 			p := ev.proc
 			p.state = stateRunning
 			go p.run()
-			if err := k.waitYield(p); err != nil {
-				return err
-			}
+			return false
 		case evWake:
 			p := ev.proc
 			if p.state == stateDone {
-				break // stale wake after completion: ignore
+				continue // stale wake after completion: ignore
 			}
 			if p.state != stateWaiting {
 				panic(fmt.Sprintf("sim: wake of process %q in state %v", p.name, p.state))
 			}
 			p.state = stateRunning
-			p.resume <- struct{}{}
-			if err := k.waitYield(p); err != nil {
-				return err
+			if p == self {
+				return true
 			}
+			p.resume <- struct{}{}
+			return false
 		}
 	}
 }
 
-// waitYield blocks until process p gives control back, handling
-// completion and panics.
-func (k *Kernel) waitYield(p *Proc) error {
-	m := <-k.yield
-	if m.p != p {
-		panic("sim: yield from unexpected process")
-	}
-	if m.done {
-		p.state = stateDone
-		k.live--
-		if m.err != nil {
-			return m.err
-		}
-		// Wake anyone joined on p.
-		p.joiners.broadcastLocked(k)
-		return nil
-	}
-	return nil
+// finish records the simulation outcome and releases Run. Exactly one
+// goroutine holds the baton at any instant, and dispatch stops looping
+// after calling finish, so it runs at most once per Run.
+func (k *Kernel) finish(err error) {
+	k.err = err
+	k.done <- struct{}{}
 }
 
 // blockedNames lists live processes for deadlock reports,
@@ -233,3 +272,7 @@ func (k *Kernel) blockedNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// Dispatched returns the number of events dispatched so far (coalesced
+// holds included).
+func (k *Kernel) Dispatched() int64 { return k.dispatched }

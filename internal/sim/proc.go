@@ -59,15 +59,27 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// run is the goroutine body wrapper: it executes fn and reports
-// completion (or panic) to the kernel.
+// run is the goroutine body wrapper: it executes fn, then — still
+// holding the baton — retires the process and dispatches onward.
 func (p *Proc) run() {
+	k := p.k
 	defer func() {
-		var err error
 		if r := recover(); r != nil {
-			err = &ProcPanic{Proc: p.name, Value: r}
+			if k.inCall {
+				// The panic came from a kernel-context callback that
+				// happened to be dispatched on this goroutine, not from
+				// p's body. Crash, as the centralized loop would have.
+				panic(r)
+			}
+			p.state = stateDone
+			k.live--
+			k.finish(&ProcPanic{Proc: p.name, Value: r})
+			return
 		}
-		p.k.yield <- yieldMsg{p: p, done: true, err: err}
+		p.state = stateDone
+		k.live--
+		p.joiners.broadcastLocked(k)
+		k.dispatch(nil) // pass the baton on; this goroutine exits
 	}()
 	p.fn(p)
 }
@@ -75,18 +87,48 @@ func (p *Proc) run() {
 // Hold advances the process's local time by d ticks: it schedules a wake
 // at now+d and blocks until dispatched. Hold(0) yields to same-time
 // events already queued.
+//
+// Coalescing fast path: when no other event is scheduled at or before
+// now+d, the wake this Hold would push is guaranteed to be the next
+// dispatch, so the park → heap → channel round-trip is skipped and the
+// clock advanced in place. Dispatch order is unchanged — the skipped
+// wake had no competitor in the window, and a same-time competitor at
+// exactly now+d forces the slow path (FIFO order says the fresh wake
+// runs last). The skipped dispatch still counts toward MaxEvents; at
+// the budget's edge the slow path runs so Run reports ErrEventLimit.
 func (p *Proc) Hold(d Time) {
 	if d < 0 {
 		panic("sim: Hold with negative duration")
 	}
-	p.k.push(p.k.now+d, evWake, p, nil)
+	k := p.k
+	if k.canCoalesce(d) {
+		k.dispatched++
+		k.now += d
+		return
+	}
+	k.push(k.now+d, evWake, p, nil)
 	p.park()
 }
 
-// park blocks the process until the kernel resumes it.
+// CanCoalesce reports whether a Hold(d) would take the coalescing fast
+// path — equivalently, whether the process owns the next d ticks
+// outright: no event of any other process, timer or spawn is scheduled
+// at or before now+d, so no simulation state can change in the window.
+// Higher layers use this to batch several cost charges into one Hold
+// only when doing so is provably order- and observation-preserving.
+func (p *Proc) CanCoalesce(d Time) bool { return p.k.canCoalesce(d) }
+
+// park gives up the baton: the parking goroutine runs the dispatch loop
+// itself and hands control directly to the next runnable process. If
+// the loop finds that the next runnable process is p (every intervening
+// event was a timer callback), park returns without touching a channel;
+// otherwise it blocks until some later baton holder dispatches p's
+// wake and resumes it.
 func (p *Proc) park() {
 	p.state = stateWaiting
-	p.k.yield <- yieldMsg{p: p}
+	if p.k.dispatch(p) {
+		return
+	}
 	<-p.resume
 }
 
