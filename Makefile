@@ -31,7 +31,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/...
 
 # The PR gate: everything must build, vet and be gofmt-clean, the
 # simulator, core, experiment harness and observability packages must

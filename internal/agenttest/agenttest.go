@@ -20,7 +20,8 @@ type Agent struct {
 	// Prof, when non-nil, receives the agent's virtual-time attribution
 	// (tests that assert profile categories set it).
 	Prof *obs.ProcProfile
-	fr   float64 // fractional tick accumulator for HoldCost
+	fr   float64                    // fractional tick accumulator for HoldCost
+	frC  [obs.NumCategories]float64 // per-category accumulators for ChargeCost
 }
 
 // New returns an agent for process p bound to thread t.
@@ -53,4 +54,21 @@ func (a *Agent) HoldCost(ticks float64) {
 		a.fr -= float64(n)
 		a.P.Hold(n)
 	}
+}
+
+// ChargeCost charges fractional virtual time with per-category carry,
+// attributing the materialized whole ticks to cat — the substrate
+// Agent interfaces' charging primitive (mirrors core.Ctx.ChargeCost).
+func (a *Agent) ChargeCost(cat obs.Category, ticks float64) {
+	if ticks < 0 {
+		panic("agenttest: negative cost")
+	}
+	f := a.frC[cat] + ticks
+	if f >= 1 {
+		n := sim.Time(f)
+		f -= float64(n)
+		a.P.Hold(n)
+		a.Prof.Charge(cat, n)
+	}
+	a.frC[cat] = f
 }

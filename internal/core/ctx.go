@@ -25,7 +25,13 @@ type Ctx struct {
 	thread machine.ThreadID
 	c      energy.Counters
 	frac   float64
-	ep     *msgpass.Endpoint
+	// fracCat is the per-category fractional-tick carry behind
+	// ChargeCost. Keeping one carry per profile category means the
+	// fractional residue of, say, a bandwidth charge can never
+	// materialize inside — and be misattributed to — a later charge of
+	// an unrelated category.
+	fracCat [obs.NumCategories]float64
+	ep      *msgpass.Endpoint
 
 	unit    int
 	round   int
@@ -142,9 +148,16 @@ func (c *Ctx) Now() sim.Time {
 // flush charges accumulated batched compute time as one kernel Hold.
 // The batching invariant (pend only grows while CanCoalesce holds, and
 // no other process can run in between) guarantees the Hold takes the
-// coalescing fast path, so a flush never parks.
+// coalescing fast path, so a flush never parks. A process that is
+// unwinding — killed, or torn down after a kernel error — discards its
+// pending ticks instead: its deferred cleanup must neither advance the
+// clock nor re-enter Hold (which would panic again mid-unwind).
 func (c *Ctx) flush() {
 	if c.pend > 0 {
+		if c.p.Unwinding() {
+			c.pend = 0
+			return
+		}
 		d := c.pend
 		c.pend = 0
 		c.p.Hold(d)
@@ -167,6 +180,45 @@ func (c *Ctx) HoldCost(ticks float64) {
 		c.p.Hold(n)
 	}
 }
+
+// ChargeCost advances virtual time by ticks with deterministic
+// per-category fractional carry and attributes the materialized whole
+// ticks to cat in the virtual-time profile (Agent interface). This is
+// the substrates' charging primitive: unlike HoldCost followed by a
+// window measurement, the materialized ticks and the profile charge
+// are the same quantity by construction, so fractional costs are
+// attributed to the category that incurred them — never lost, never
+// bled into a neighbouring measurement window.
+func (c *Ctx) ChargeCost(cat obs.Category, ticks float64) {
+	if ticks < 0 {
+		panic("core: negative cost")
+	}
+	c.flush()
+	f := c.fracCat[cat] + ticks
+	if f >= 1 {
+		n := sim.Time(f)
+		f -= float64(n)
+		c.p.Hold(n)
+		c.prof.Charge(cat, n)
+	}
+	c.fracCat[cat] = f
+}
+
+// Kill terminates the member's simulated process (see sim.Proc.Kill),
+// discarding any batched-but-unmaterialized compute time: a killed
+// process charges nothing further. Safe from kernel callbacks — it
+// never advances the clock.
+func (c *Ctx) Kill() {
+	c.pend = 0
+	c.p.Kill()
+}
+
+// SimProc returns the member's simulated process without materializing
+// batched compute time. Unlike Proc (the Agent-interface accessor,
+// which flushes), SimProc is safe from kernel callbacks, where the
+// member is not the running process; fault plans use it to inspect and
+// kill processes bound to a failed core.
+func (c *Ctx) SimProc() *sim.Proc { return c.p }
 
 // FpOps performs n local floating-point operations: advances time by
 // n·t_fp (scaled by the core's clock multiplier on heterogeneous
@@ -202,10 +254,7 @@ func (c *Ctx) holdCompute(n int64, t sim.Time) {
 	cfg := c.sys.M.Cfg
 	core := cfg.CoreOf(c.thread)
 	if mult := cfg.CoreMult(core); mult != 1 {
-		c.flush()
-		t0 := c.Now()
-		c.HoldCost(cfg.ComputeTime(core, n, float64(t)))
-		c.prof.Charge(obs.CatCompute, c.Now()-t0)
+		c.ChargeCost(obs.CatCompute, cfg.ComputeTime(core, n, float64(t)))
 		return
 	}
 	d := sim.Time(n) * t

@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// CoreFailure is one scheduled processor failure: at virtual time At,
+// core Core stops executing.
+type CoreFailure struct {
+	At   sim.Time
+	Core int
+}
+
+// Plan arms core failures on a system and records their effects. A
+// failing core kills every not-yet-finished process bound to one of
+// its hardware threads (their goroutines unwind and their joiners are
+// woken); the kernel itself keeps running. Survivors that next wait on
+// a killed peer — a barrier, a RecvN — deadlock, and the kernel's
+// clean error teardown turns that into the deterministic disruption
+// signal a controller catches to re-place the remaining work on the
+// surviving cores (sched.AllocateExcluding) and warm-start.
+type Plan struct {
+	sys    *core.System
+	down   map[int]bool
+	killed []string
+	fired  []CoreFailure
+}
+
+// ArmCoreFailures schedules the given failures on sys's kernel and
+// returns the plan that will record their effects. Call before
+// sys.Run; failure times are absolute virtual times.
+func ArmCoreFailures(sys *core.System, events ...CoreFailure) *Plan {
+	pl := &Plan{sys: sys, down: map[int]bool{}}
+	now := sys.K.Now()
+	for _, ev := range events {
+		ev := ev
+		if ev.At < now {
+			panic("fault: core failure scheduled in the past")
+		}
+		sys.K.Schedule(ev.At-now, func() { pl.fail(ev) })
+	}
+	return pl
+}
+
+// fail marks the core down and kills its bound processes.
+func (pl *Plan) fail(ev CoreFailure) {
+	pl.fired = append(pl.fired, ev)
+	if pl.down[ev.Core] {
+		return
+	}
+	pl.down[ev.Core] = true
+	cfg := pl.sys.M.Cfg
+	for _, g := range pl.sys.Groups() {
+		for _, c := range g.Ctxs() {
+			p := c.SimProc()
+			if p.Done() || p.Killed() {
+				continue
+			}
+			if cfg.CoreOf(c.Thread()) != ev.Core {
+				continue
+			}
+			pl.killed = append(pl.killed, p.Name())
+			c.Kill()
+		}
+	}
+}
+
+// Down returns the set of failed cores (shared map; treat as
+// read-only), in the exclusion format sched.AllocateExcluding takes.
+func (pl *Plan) Down() map[int]bool { return pl.down }
+
+// DownList returns the failed core indices in ascending order.
+func (pl *Plan) DownList() []int {
+	out := make([]int, 0, len(pl.down))
+	for c := range pl.down {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Killed returns the names of the processes the plan killed, in kill
+// order (deterministic: group creation order, then member rank).
+func (pl *Plan) Killed() []string { return pl.killed }
+
+// Fired returns the failure events that have triggered so far.
+func (pl *Plan) Fired() []CoreFailure { return pl.fired }

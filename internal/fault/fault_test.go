@@ -1,0 +1,343 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/agenttest"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/msgpass"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestInjectorDeterminism: equal seeds give bit-equal decision streams;
+// different seeds diverge.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, DropRate: 0.2, DupRate: 0.1, DelayRate: 0.1, DelayTicks: 7}
+	run := func(c Config) []msgpass.FaultAction {
+		in := NewInjector(c)
+		out := make([]msgpass.FaultAction, 500)
+		for i := range out {
+			out[i], _ = in.OnSend(nil, nil, nil)
+		}
+		return out
+	}
+	a, b := run(cfg), run(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between equal-seed runs", i)
+		}
+	}
+	cfg.Seed = 43
+	c := run(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical decision streams")
+	}
+}
+
+// TestInjectorRates: over many draws the empirical rates should land
+// near the configured ones (loose bounds; the stream is deterministic,
+// so this cannot flake).
+func TestInjectorRates(t *testing.T) {
+	in := NewInjector(Config{Seed: 7, DropRate: 0.25, DupRate: 0.25, DelayRate: 0.25})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.OnSend(nil, nil, nil)
+	}
+	for _, c := range []struct {
+		name string
+		got  int64
+	}{{"drops", in.Drops()}, {"dups", in.Dups()}, {"delays", in.Delays()}} {
+		frac := float64(c.got) / n
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("%s rate %.3f, want ~0.25", c.name, frac)
+		}
+	}
+	if in.Transfers() != n {
+		t.Errorf("transfers %d, want %d", in.Transfers(), n)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{DropRate: -0.1},
+		{DropRate: 0.6, DupRate: 0.6},
+		{DelayTicks: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewInjector(%+v) did not panic", cfg)
+				}
+			}()
+			NewInjector(cfg)
+		}()
+	}
+}
+
+// reliableExchange runs nMsgs payloads from a sender to a receiver over
+// a link with the given drop rate and returns (sender stats, receiver
+// stats, received payloads, sender CatFault ticks, end time).
+func reliableExchange(t *testing.T, dropRate float64, seed int64, nMsgs int) (ReliableStats, ReliableStats, []any, sim.Time, sim.Time) {
+	t.Helper()
+	k := sim.NewKernel()
+	net := msgpass.New(machine.New(k, machine.Niagara()))
+	net.SetFaultInjector(NewInjector(Config{Seed: seed, DropRate: dropRate}))
+	sEp := net.NewEndpoint("s", 0)
+	rEp := net.NewEndpoint("r", 8)
+	var sStats, rStats ReliableStats
+	var got []any
+	var faultTicks sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		a := agenttest.New(p, 0)
+		a.Prof = &obs.ProcProfile{Name: "s"}
+		rel := NewReliable(a, sEp, 50, 8)
+		for i := 0; i < nMsgs; i++ {
+			if err := rel.Send(rEp, i); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+		sStats = rel.Stats()
+		faultTicks = a.Prof.Cats[obs.CatFault]
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		a := agenttest.New(p, 8)
+		rel := NewReliable(a, rEp, 50, 8)
+		for i := 0; i < nMsgs; i++ {
+			v, err := rel.RecvFrom(sEp)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			got = append(got, v)
+		}
+		// Linger so a lost final ack cannot strand the sender.
+		rel.Drain(rel.MaxBackoffTicks())
+		rStats = rel.Stats()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sStats, rStats, got, faultTicks, k.Now()
+}
+
+// TestReliableLossless: with no faults the protocol is invisible — no
+// retransmits, no dups, everything delivered in order.
+func TestReliableLossless(t *testing.T) {
+	s, r, got, faultTicks, _ := reliableExchange(t, 0, 1, 10)
+	if s.Retransmits != 0 || s.Timeouts != 0 || r.DupsDropped != 0 {
+		t.Errorf("clean link saw recovery work: %+v %+v", s, r)
+	}
+	if faultTicks != 0 {
+		t.Errorf("clean link charged %d fault ticks", faultTicks)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestReliableLossyDelivers: under heavy loss every payload still
+// arrives exactly once, in order, and the recovery work is visible in
+// the stats and the CatFault profile.
+func TestReliableLossyDelivers(t *testing.T) {
+	s, r, got, faultTicks, _ := reliableExchange(t, 0.3, 99, 20)
+	if len(got) != 20 {
+		t.Fatalf("delivered %d of 20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %v (out of order or duplicated)", i, v)
+		}
+	}
+	if s.Retransmits == 0 {
+		t.Error("30% loss needed no retransmissions?")
+	}
+	if s.Timeouts == 0 || faultTicks == 0 {
+		t.Errorf("timeouts=%d faultTicks=%d, want both > 0", s.Timeouts, faultTicks)
+	}
+	if r.Delivered != 20 {
+		t.Errorf("receiver delivered %d, want 20", r.Delivered)
+	}
+}
+
+// TestReliableDeterministic: the whole faulty run — stats, timing —
+// replays bit-identically.
+func TestReliableDeterministic(t *testing.T) {
+	s1, r1, _, f1, end1 := reliableExchange(t, 0.25, 7, 15)
+	s2, r2, _, f2, end2 := reliableExchange(t, 0.25, 7, 15)
+	if s1 != s2 || r1 != r2 || f1 != f2 || end1 != end2 {
+		t.Fatalf("faulty run not reproducible:\n%+v %+v %d %d\n%+v %+v %d %d",
+			s1, r1, f1, end1, s2, r2, f2, end2)
+	}
+}
+
+// TestReliableGivesUp: a dead link exhausts MaxTries and reports an
+// error instead of hanging.
+func TestReliableGivesUp(t *testing.T) {
+	k := sim.NewKernel()
+	net := msgpass.New(machine.New(k, machine.Niagara()))
+	net.SetFaultInjector(NewInjector(Config{Seed: 1, DropRate: 1}))
+	sEp := net.NewEndpoint("s", 0)
+	rEp := net.NewEndpoint("r", 8)
+	k.Spawn("s", func(p *sim.Proc) {
+		rel := NewReliable(agenttest.New(p, 0), sEp, 10, 3)
+		if err := rel.Send(rEp, "x"); err == nil {
+			t.Error("Send over a 100%-loss link succeeded")
+		}
+		if rel.Stats().Sent != 3 {
+			t.Errorf("sent %d frames, want MaxTries=3", rel.Stats().Sent)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoreFailureKillsAndTearsDownClean: a mid-run core failure kills
+// the bound processes, the survivors' next barrier deadlocks, and the
+// kernel teardown leaves no goroutine behind.
+func TestCoreFailureKillsAndTearsDownClean(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cfg := machine.Niagara()
+	sys := core.NewSystem(cfg)
+	attrs := core.Attrs{Dist: core.InterProc, Exec: core.AsyncExec, Comm: core.SynchComm}
+	rounds := make([]int, 4)
+	sys.NewGroup("work", attrs, 4, func(ctx *core.Ctx) {
+		for r := 0; r < 10; r++ {
+			ctx.SUnit(func() {
+				ctx.SRound(func() {
+					ctx.IntOps(100)
+				})
+			})
+			rounds[ctx.Index()]++
+		}
+	})
+	pl := ArmCoreFailures(sys, CoreFailure{At: 150, Core: 0})
+	var dead *sim.ErrDeadlock
+	if err := sys.Run(); !errors.As(err, &dead) {
+		t.Fatalf("Run = %v, want ErrDeadlock (survivors stuck at the barrier)", err)
+	}
+	if got := pl.Killed(); len(got) != 1 || got[0] != "work/0" {
+		t.Fatalf("killed %v, want [work/0] (InterProc puts member 0 alone on core 0)", got)
+	}
+	if !pl.Down()[0] || len(pl.DownList()) != 1 {
+		t.Fatalf("down set %v, want {0}", pl.DownList())
+	}
+	if rounds[0] == 0 {
+		t.Error("member 0 should have completed rounds before the failure")
+	}
+	if rounds[0] >= 10 {
+		t.Error("member 0 finished all rounds despite dying at t=150")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after faulty run: %d live, want <= %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoreFailureBeforeStart: failing a core before the group starts
+// kills its members before their bodies run; no kernel error unless
+// the survivors actually depend on them.
+func TestCoreFailureIndependentSurvivors(t *testing.T) {
+	cfg := machine.Niagara()
+	sys := core.NewSystem(cfg)
+	// AsyncComm: no barriers, members are independent; survivors finish.
+	attrs := core.Attrs{Dist: core.InterProc, Exec: core.AsyncExec, Comm: core.AsyncComm}
+	done := make([]bool, 4)
+	sys.NewGroup("free", attrs, 4, func(ctx *core.Ctx) {
+		ctx.IntOps(10000)
+		done[ctx.Index()] = true
+	})
+	pl := ArmCoreFailures(sys, CoreFailure{At: 500, Core: 1})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("independent survivors should finish cleanly: %v", err)
+	}
+	if len(pl.Killed()) != 1 {
+		t.Fatalf("killed %v, want exactly member on core 1", pl.Killed())
+	}
+	finished := 0
+	for _, d := range done {
+		if d {
+			finished++
+		}
+	}
+	if finished != 3 {
+		t.Fatalf("%d members finished, want 3", finished)
+	}
+}
+
+// TestReliableFullMeshDeterminism: every pair sending to every other
+// over a lossy mesh — the shape E14's Jacobi uses — stays deterministic
+// and delivers everything.
+func TestReliableFullMeshDeterminism(t *testing.T) {
+	run := func() (string, sim.Time) {
+		k := sim.NewKernel()
+		net := msgpass.New(machine.New(k, machine.Niagara()))
+		net.SetFaultInjector(NewInjector(Config{Seed: 5, DropRate: 0.15}))
+		const n = 3
+		eps := make([]*msgpass.Endpoint, n)
+		for i := range eps {
+			eps[i] = net.NewEndpoint(fmt.Sprintf("n%d", i), machine.ThreadID(4*i))
+		}
+		var log string
+		for i := 0; i < n; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("n%d", i), func(p *sim.Proc) {
+				rel := NewReliable(agenttest.New(p, machine.ThreadID(4*i)), eps[i], 60, 10)
+				for round := 0; round < 4; round++ {
+					for j := 0; j < n; j++ {
+						if j != i {
+							if err := rel.Send(eps[j], fmt.Sprintf("r%d from %d", round, i)); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+					for j := 0; j < n; j++ {
+						if j != i {
+							v, err := rel.RecvFrom(eps[j])
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							want := fmt.Sprintf("r%d from %d", round, j)
+							if v != want {
+								t.Errorf("n%d got %q, want %q", i, v, want)
+							}
+						}
+					}
+				}
+				rel.Drain(rel.MaxBackoffTicks())
+				log += fmt.Sprintf("n%d done at %d\n", i, p.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log, k.Now()
+	}
+	log1, end1 := run()
+	log2, end2 := run()
+	if log1 != log2 || end1 != end2 {
+		t.Fatalf("mesh run not reproducible:\n%s@%d\nvs\n%s@%d", log1, end1, log2, end2)
+	}
+}

@@ -25,9 +25,10 @@ type Agent interface {
 	Thread() machine.ThreadID
 	// Counters returns the process's operation counters.
 	Counters() *energy.Counters
-	// HoldCost charges virtual time, accumulating fractional ticks
-	// deterministically.
-	HoldCost(ticks float64)
+	// ChargeCost charges virtual time, accumulating fractional ticks
+	// deterministically per profile category, and attributes the
+	// materialized whole ticks to cat.
+	ChargeCost(cat obs.Category, ticks float64)
 	// Profile returns the process's virtual-time profile sink, or nil
 	// when profiling is disabled (the nil profile is a no-op).
 	Profile() *obs.ProcProfile
@@ -207,14 +208,18 @@ func (r *Region[T]) access(a Agent, i int) bool {
 
 	c := r.mem.m.Cfg.Costs
 	intra := r.intraFor(a.Thread())
+	ell, g := c.EllE, c.GShE
 	if intra {
-		p.Hold(c.EllA)
-		a.HoldCost(c.GShA)
-	} else {
-		p.Hold(c.EllE)
-		a.HoldCost(c.GShE)
+		ell, g = c.EllA, c.GShA
 	}
+	p.Hold(ell)
+	// Queueing stall and latency are whole-tick holds, charged from the
+	// measured window; the bandwidth charge may be fractional, so it
+	// goes through ChargeCost, which attributes exactly the ticks it
+	// materializes (fractional residue carries to the next g charge
+	// instead of leaking into an unrelated category).
 	a.Profile().Charge(obs.CatMemWait, p.Now()-now)
+	a.ChargeCost(obs.CatMemWait, g)
 	return intra
 }
 

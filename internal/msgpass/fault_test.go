@@ -1,0 +1,202 @@
+package msgpass
+
+import (
+	"testing"
+
+	"repro/internal/agenttest"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// scriptInjector replays a fixed list of actions, one per send, then
+// delivers everything after the script runs out.
+type scriptInjector struct {
+	actions []FaultAction
+	delay   sim.Time
+	i       int
+}
+
+func (s *scriptInjector) OnSend(src, dst *Endpoint, m *Message) (FaultAction, sim.Time) {
+	if s.i >= len(s.actions) {
+		return FaultNone, 0
+	}
+	a := s.actions[s.i]
+	s.i++
+	return a, s.delay
+}
+
+// TestFaultDropLosesMessage: a dropped message charges the sender but
+// never arrives; the receiver's timed wait expires.
+func TestFaultDropLosesMessage(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	net.SetFaultInjector(&scriptInjector{actions: []FaultAction{FaultDrop}})
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 8) // another core: LE=20
+	k.Spawn("sender", func(p *sim.Proc) {
+		a := agenttest.New(p, 0)
+		src.Send(a, dst, "doomed")
+		if a.C.SendsInter != 1 {
+			t.Error("dropped send not counted against the sender")
+		}
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		a := agenttest.New(p, 8)
+		if _, ok := dst.RecvTimeout(a, 100); ok {
+			t.Error("received a dropped message")
+		}
+		if p.Now() != 100 {
+			t.Errorf("timeout returned at t=%d, want 100", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Dropped() != 1 || net.Delivered() != 0 {
+		t.Fatalf("dropped=%d delivered=%d, want 1,0", net.Dropped(), net.Delivered())
+	}
+}
+
+// TestFaultDupDeliversTwice: one send, two arrivals, counted once as a
+// duplication and twice as deliveries.
+func TestFaultDupDeliversTwice(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	net.SetFaultInjector(&scriptInjector{actions: []FaultAction{FaultDup}})
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 8)
+	k.Spawn("sender", func(p *sim.Proc) {
+		src.Send(agenttest.New(p, 0), dst, 42)
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		a := agenttest.New(p, 8)
+		m1, m2 := dst.Recv(a), dst.Recv(a)
+		if m1.Payload != 42 || m2.Payload != 42 || m1.Arrived != m2.Arrived {
+			t.Errorf("dup copies differ: %+v vs %+v", m1, m2)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Duplicated() != 1 || net.Delivered() != 2 {
+		t.Fatalf("duplicated=%d delivered=%d, want 1,2", net.Duplicated(), net.Delivered())
+	}
+}
+
+// TestFaultDelayAddsLatency: a delayed message arrives exactly
+// LE + delay after the send.
+func TestFaultDelayAddsLatency(t *testing.T) {
+	k, net := rig(machine.Niagara()) // LE=20
+	net.SetFaultInjector(&scriptInjector{actions: []FaultAction{FaultDelay}, delay: 13})
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 8)
+	k.Spawn("sender", func(p *sim.Proc) {
+		if arrive := src.Send(agenttest.New(p, 0), dst, "late"); arrive != 33 {
+			t.Errorf("predicted arrival %d, want 33", arrive)
+		}
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		m := dst.Recv(agenttest.New(p, 8))
+		if m.Arrived != 33 {
+			t.Errorf("arrived at %d, want 33", m.Arrived)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Delayed() != 1 || net.FaultDelayTicks() != 13 {
+		t.Fatalf("delayed=%d ticks=%d, want 1,13", net.Delayed(), net.FaultDelayTicks())
+	}
+}
+
+// TestRecvTimeoutDeliveredInTime: a message arriving inside the window
+// is received normally and the wait is charged to msgwait.
+func TestRecvTimeoutDeliveredInTime(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 8)
+	k.Spawn("sender", func(p *sim.Proc) {
+		src.Send(agenttest.New(p, 0), dst, "x")
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		a := agenttest.New(p, 8)
+		a.Prof = &obs.ProcProfile{Name: "receiver"}
+		m, ok := dst.RecvTimeout(a, 100)
+		if !ok || m.Payload != "x" {
+			t.Fatalf("RecvTimeout = %+v, %v", m, ok)
+		}
+		if p.Now() != 22 { // LE wait + whole-tick drain occupancy GMpE
+			t.Errorf("received at t=%d, want 22", p.Now())
+		}
+		// The blocked window (20 ticks) plus whole-tick drain occupancy
+		// (GMpE=2) is msgwait.
+		if got := a.Prof.Cats[obs.CatMsgWait]; got != 22 {
+			t.Errorf("msgwait = %d, want 22", got)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvTimeoutExpiryChargesNothing: on expiry the profile stays
+// untouched (the caller attributes the loss; internal/fault uses
+// CatFault), while the QueueWait counter records the blocked window.
+func TestRecvTimeoutExpiryChargesNothing(t *testing.T) {
+	k, net := rig(machine.Niagara())
+	dst := net.NewEndpoint("dst", 0)
+	k.Spawn("receiver", func(p *sim.Proc) {
+		a := agenttest.New(p, 0)
+		a.Prof = &obs.ProcProfile{Name: "receiver"}
+		if _, ok := dst.RecvTimeout(a, 37); ok {
+			t.Fatal("received from an empty network")
+		}
+		if a.C.QueueWait != 37 {
+			t.Errorf("QueueWait = %d, want 37", a.C.QueueWait)
+		}
+		var zero obs.CatTimes
+		if a.Prof.Cats != zero {
+			t.Errorf("profile charged on timeout: %v", a.Prof.Cats)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSenderOccupancyAttributed is the SendSized charge bugfix pinned:
+// fractional per-message occupancy must accumulate into msgwait ticks
+// (previously it was measured as an elapsed-time window around a
+// fractional accrual, so sender occupancy could never be attributed).
+func TestSenderOccupancyAttributed(t *testing.T) {
+	cfg := machine.Niagara()
+	cfg.Costs.GMpA = 0.5 // fractional: 4 sends must yield exactly 2 ticks
+	k, net := rig(cfg)
+	src := net.NewEndpoint("src", 0)
+	dst := net.NewEndpoint("dst", 1) // same core: intra
+	k.Spawn("sender", func(p *sim.Proc) {
+		a := agenttest.New(p, 0)
+		a.Prof = &obs.ProcProfile{Name: "sender"}
+		for i := 0; i < 4; i++ {
+			src.Send(a, dst, i)
+		}
+		if p.Now() != 2 {
+			t.Errorf("4 sends advanced clock to %d, want 2", p.Now())
+		}
+		if got := a.Prof.Cats[obs.CatMsgWait]; got != 2 {
+			t.Errorf("sender msgwait = %d, want 2", got)
+		}
+		a.Prof.Finish(p.Now())
+		if a.Prof.Sum() != p.Now() {
+			t.Errorf("profile sums to %d, want T=%d", a.Prof.Sum(), p.Now())
+		}
+	})
+	k.Spawn("drain", func(p *sim.Proc) {
+		a := agenttest.New(p, 1)
+		for i := 0; i < 4; i++ {
+			dst.Recv(a)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

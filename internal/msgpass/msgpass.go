@@ -20,11 +20,46 @@ type Agent interface {
 	Proc() *sim.Proc
 	Thread() machine.ThreadID
 	Counters() *energy.Counters
-	HoldCost(ticks float64)
+	// ChargeCost charges virtual time with deterministic per-category
+	// fractional carry, attributing materialized ticks to cat.
+	ChargeCost(cat obs.Category, ticks float64)
 	// Profile returns the process's virtual-time profile sink, or nil
 	// when profiling is disabled (the nil profile is a no-op).
 	Profile() *obs.ProcProfile
 }
+
+// FaultAction is a fault injector's decision about one message
+// transfer.
+type FaultAction uint8
+
+const (
+	// FaultNone delivers the message normally.
+	FaultNone FaultAction = iota
+	// FaultDrop loses the message in flight: the sender is charged
+	// injection occupancy as usual, but nothing ever arrives.
+	FaultDrop
+	// FaultDup delivers the message twice (two identical copies, same
+	// arrival time; FIFO order puts them adjacent in the inbox).
+	FaultDup
+	// FaultDelay delivers the message after extra in-flight latency.
+	FaultDelay
+)
+
+// FaultInjector intercepts every message transfer on a Network.
+// Implementations must be deterministic functions of virtual-time
+// state — internal/fault provides a seeded one — and are consulted
+// inside the simulation's single-goroutine discipline, so they need no
+// locking.
+type FaultInjector interface {
+	// OnSend classifies the transfer of m from src to dst, returning
+	// the action and, for FaultDelay, the extra latency in ticks.
+	OnSend(src, dst *Endpoint, m *Message) (FaultAction, sim.Time)
+}
+
+// SetFaultInjector installs inj on the network; nil disables
+// injection. With no injector the send path is exactly the fault-free
+// one.
+func (n *Network) SetFaultInjector(inj FaultInjector) { n.faults = inj }
 
 // Message is a delivered payload plus provenance.
 type Message struct {
@@ -46,6 +81,12 @@ type Network struct {
 	occupancy float64  // summed sender/receiver bandwidth charges
 	maxInbox  int      // deepest inbox observed at any delivery
 	endpoints []*Endpoint
+
+	faults     FaultInjector
+	dropped    int64
+	duplicated int64
+	delayed    int64
+	faultDelay sim.Time // summed extra latency of delayed messages
 }
 
 // New creates the network for machine m.
@@ -70,6 +111,21 @@ func (n *Network) OccupancyTicks() float64 { return n.occupancy }
 // MaxInboxDepth returns the deepest mailbox backlog observed at any
 // delivery instant — a router/endpoint congestion indicator.
 func (n *Network) MaxInboxDepth() int { return n.maxInbox }
+
+// Dropped returns the number of messages lost by fault injection.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// Duplicated returns the number of messages duplicated by fault
+// injection (each adds one extra delivery).
+func (n *Network) Duplicated() int64 { return n.duplicated }
+
+// Delayed returns the number of messages given extra latency by fault
+// injection.
+func (n *Network) Delayed() int64 { return n.delayed }
+
+// FaultDelayTicks returns the summed extra in-flight latency injected
+// into delayed messages.
+func (n *Network) FaultDelayTicks() sim.Time { return n.faultDelay }
 
 // Endpoint is one process's mailbox. Create one per process with the
 // hardware thread the process is bound to.
@@ -145,11 +201,41 @@ func (e *Endpoint) SendSized(a Agent, dst *Endpoint, payload any, words int) sim
 	m := Message{From: e, Payload: payload, Words: words, SentAt: p.Now()}
 	wire := delay + sim.Time(extra)
 	arrive := m.SentAt + wire
-	e.net.deliverAt(e.net.m.K, dst, m, wire)
-	e.net.wireTicks += wire
+
+	action, faultExtra := FaultNone, sim.Time(0)
+	if e.net.faults != nil {
+		action, faultExtra = e.net.faults.OnSend(e, dst, &m)
+	}
+	switch action {
+	case FaultDrop:
+		// Lost in flight. The sender cannot tell: it pays occupancy and
+		// the returned arrival time is when the message would have
+		// arrived.
+		e.net.dropped++
+	case FaultDup:
+		e.net.duplicated++
+		e.net.deliverAt(e.net.m.K, dst, m, wire)
+		e.net.deliverAt(e.net.m.K, dst, m, wire)
+		e.net.wireTicks += 2 * wire
+	case FaultDelay:
+		if faultExtra < 0 {
+			panic("msgpass: negative fault delay")
+		}
+		e.net.delayed++
+		e.net.faultDelay += faultExtra
+		arrive += faultExtra
+		e.net.deliverAt(e.net.m.K, dst, m, wire+faultExtra)
+		e.net.wireTicks += wire + faultExtra
+	default:
+		e.net.deliverAt(e.net.m.K, dst, m, wire)
+		e.net.wireTicks += wire
+	}
 	e.net.occupancy += g + extra
-	a.HoldCost(g + extra)
-	a.Profile().Charge(obs.CatMsgWait, p.Now()-m.SentAt)
+	// Injection occupancy may be fractional; ChargeCost both advances
+	// the clock and attributes exactly the ticks it materializes, so
+	// sender occupancy shows up under msgwait instead of being measured
+	// as an (empty) elapsed-time window.
+	a.ChargeCost(obs.CatMsgWait, g+extra)
 	return arrive
 }
 
@@ -188,6 +274,44 @@ func (e *Endpoint) Recv(a Agent) Message {
 		e.rq.Wait(p)
 		a.Counters().QueueWait += p.Now() - before
 	}
+	return e.take(a, p, t0)
+}
+
+// RecvTimeout is Recv with a deadline: it blocks until a message is
+// available or d ticks elapse, whichever comes first, and reports
+// which. The timed-out wait is counted in the QueueWait counter but
+// NOT charged to the profile — the caller knows why it was waiting and
+// charges the category itself (internal/fault's reliable layer charges
+// CatFault, keeping recovery overhead separate from productive message
+// waits). Same-tick arrival-versus-expiry races resolve
+// deterministically by kernel event order.
+func (e *Endpoint) RecvTimeout(a Agent, d sim.Time) (Message, bool) {
+	if d < 0 {
+		panic("msgpass: negative receive timeout")
+	}
+	p := a.Proc()
+	t0 := p.Now()
+	deadline := t0 + d
+	for len(e.inbox) == 0 {
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return Message{}, false
+		}
+		before := p.Now()
+		signaled := e.rq.WaitTimeout(p, remain)
+		a.Counters().QueueWait += p.Now() - before
+		if !signaled && len(e.inbox) == 0 {
+			return Message{}, false
+		}
+	}
+	return e.take(a, p, t0), true
+}
+
+// take dequeues the oldest arrived message and charges receive cost:
+// the blocked window since t0 is msgwait, and the drain occupancy g
+// (possibly fractional) goes through ChargeCost so it is attributed
+// exactly, with per-category carry.
+func (e *Endpoint) take(a Agent, p *sim.Proc, t0 sim.Time) Message {
 	m := e.inbox[0]
 	copy(e.inbox, e.inbox[1:])
 	e.inbox[len(e.inbox)-1] = Message{}
@@ -204,8 +328,8 @@ func (e *Endpoint) Recv(a Agent) Message {
 		extra = float64(m.Words-1) * e.net.m.Cfg.Costs.GMpWord
 	}
 	e.net.occupancy += g + extra
-	a.HoldCost(g + extra)
 	a.Profile().Charge(obs.CatMsgWait, p.Now()-t0)
+	a.ChargeCost(obs.CatMsgWait, g+extra)
 	return m
 }
 

@@ -30,6 +30,10 @@ const (
 	// CatTxRetry is aborted-and-retried transactional work: the full
 	// cost of rolled-back attempts plus contention-manager backoff.
 	CatTxRetry
+	// CatFault is fault-recovery overhead: time lost to timed-out
+	// receives over lossy links and retransmission backoff
+	// (internal/fault's reliable-delivery layer charges here).
+	CatFault
 	// CatOther is everything not attributed above (spawn lag, plain
 	// holds, blocked Retry waits outside instrumented sections).
 	CatOther
@@ -50,6 +54,8 @@ func (c Category) String() string {
 		return "barrier"
 	case CatTxRetry:
 		return "txretry"
+	case CatFault:
+		return "fault"
 	case CatOther:
 		return "other"
 	}
@@ -215,18 +221,18 @@ func (pf *Profiler) Profiles() []*ProcProfile {
 func (pf *Profiler) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "virtual-time profile (ticks per category; categories sum to T)\n")
-	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s %10s %10s %10s %7s\n",
-		"proc", "T", "compute", "memwait", "msgwait", "barrier", "txretry", "other", "comp%")
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s %10s %10s %10s %10s %7s\n",
+		"proc", "T", "compute", "memwait", "msgwait", "barrier", "txretry", "fault", "other", "comp%")
 	var tot ProcProfile
 	for _, p := range pf.Profiles() {
 		pct := 0.0
 		if p.Total > 0 {
 			pct = 100 * float64(p.Cats[CatCompute]) / float64(p.Total)
 		}
-		fmt.Fprintf(&b, "%-16s %10d %10d %10d %10d %10d %10d %10d %6.1f%%\n",
+		fmt.Fprintf(&b, "%-16s %10d %10d %10d %10d %10d %10d %10d %10d %6.1f%%\n",
 			p.Name, p.Total,
 			p.Cats[CatCompute], p.Cats[CatMemWait], p.Cats[CatMsgWait],
-			p.Cats[CatBarrier], p.Cats[CatTxRetry], p.Cats[CatOther], pct)
+			p.Cats[CatBarrier], p.Cats[CatTxRetry], p.Cats[CatFault], p.Cats[CatOther], pct)
 		tot.Total += p.Total
 		for c := Category(0); c < NumCategories; c++ {
 			tot.Cats[c] += p.Cats[c]
@@ -236,10 +242,10 @@ func (pf *Profiler) Table() string {
 	if tot.Total > 0 {
 		pct = 100 * float64(tot.Cats[CatCompute]) / float64(tot.Total)
 	}
-	fmt.Fprintf(&b, "%-16s %10d %10d %10d %10d %10d %10d %10d %6.1f%%\n",
+	fmt.Fprintf(&b, "%-16s %10d %10d %10d %10d %10d %10d %10d %10d %6.1f%%\n",
 		"(all)", tot.Total,
 		tot.Cats[CatCompute], tot.Cats[CatMemWait], tot.Cats[CatMsgWait],
-		tot.Cats[CatBarrier], tot.Cats[CatTxRetry], tot.Cats[CatOther], pct)
+		tot.Cats[CatBarrier], tot.Cats[CatTxRetry], tot.Cats[CatFault], tot.Cats[CatOther], pct)
 	return b.String()
 }
 

@@ -77,7 +77,7 @@ func TestProfilerTableAndHotspots(t *testing.T) {
 	b.Finish(100)
 
 	tab := pf.Table()
-	for _, want := range []string{"w/0", "w/1", "(all)", "compute", "msgwait"} {
+	for _, want := range []string{"w/0", "w/1", "(all)", "compute", "msgwait", "fault"} {
 		if !strings.Contains(tab, want) {
 			t.Fatalf("table missing %q:\n%s", want, tab)
 		}

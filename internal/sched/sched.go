@@ -63,6 +63,16 @@ func CapPerCore(cfg machine.Config, p, envelope float64) int {
 // all cores up to the cap. If the machine cannot hold the job within
 // the envelope, Feasible is false and Placement is nil.
 func Allocate(cfg machine.Config, job Job, envelopePerCore float64) Decision {
+	return AllocateExcluding(cfg, job, envelopePerCore, nil)
+}
+
+// AllocateExcluding is Allocate restricted to the cores NOT marked in
+// down — the re-placement entry point of graceful degradation: after
+// a fault.Plan reports failed cores, the controller asks for a new
+// placement of the surviving work on the surviving silicon, still
+// under the power envelope. A nil or empty down map is exactly
+// Allocate.
+func AllocateExcluding(cfg machine.Config, job Job, envelopePerCore float64, down map[int]bool) Decision {
 	d := Decision{Job: job, PerCorePower: map[int]float64{}}
 	if job.N < 1 {
 		d.Reason = "empty job"
@@ -76,9 +86,27 @@ func Allocate(cfg machine.Config, job Job, envelopePerCore float64) Decision {
 		return d
 	}
 	cores := cfg.NumCores()
-	if job.N > cap*cores {
-		d.Reason = fmt.Sprintf("need %d slots but machine offers %d cores × %d = %d under the envelope",
-			job.N, cores, cap, cap*cores)
+	// order holds the usable (surviving) cores; the placement loops only
+	// ever index into it, so a down core can never receive a process.
+	order := make([]int, 0, cores)
+	for c := 0; c < cores; c++ {
+		if !down[c] {
+			order = append(order, c)
+		}
+	}
+	alive := len(order)
+	if alive == 0 {
+		d.Reason = fmt.Sprintf("all %d cores are down", cores)
+		return d
+	}
+	if job.N > cap*alive {
+		if alive == cores {
+			d.Reason = fmt.Sprintf("need %d slots but machine offers %d cores × %d = %d under the envelope",
+				job.N, cores, cap, cap*cores)
+		} else {
+			d.Reason = fmt.Sprintf("need %d slots but only %d of %d cores survive × %d = %d under the envelope",
+				job.N, alive, cores, cap, cap*alive)
+		}
 		return d
 	}
 
@@ -90,10 +118,6 @@ func Allocate(cfg machine.Config, job Job, envelopePerCore float64) Decision {
 	// (power rises as mult³, but the envelope accounting here uses the
 	// caller's per-process estimate either way). Order is stable for
 	// equal speeds, so homogeneous machines keep the 0,1,2,… layout.
-	order := make([]int, cores)
-	for i := range order {
-		order[i] = i
-	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return cfg.CoreMult(order[a]) > cfg.CoreMult(order[b])
 	})
@@ -116,10 +140,10 @@ func Allocate(cfg machine.Config, job Job, envelopePerCore float64) Decision {
 		idx := 0
 		for i := 0; i < job.N; i++ {
 			for perCore[order[idx]] >= cap {
-				idx = (idx + 1) % cores
+				idx = (idx + 1) % alive
 			}
 			place(i, order[idx])
-			idx = (idx + 1) % cores
+			idx = (idx + 1) % alive
 		}
 	default:
 		panic(fmt.Sprintf("sched: unknown distribution %d", job.Dist))

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -222,6 +223,86 @@ func TestHeterogeneousInterSpreadStartsFast(t *testing.T) {
 	c0, c1 := cfg.CoreOf(d.Placement[0]), cfg.CoreOf(d.Placement[1])
 	if c0 != 6 || c1 != 7 {
 		t.Fatalf("spread went to cores %d,%d; want the fast 6,7", c0, c1)
+	}
+}
+
+func TestAllocateExcludingAvoidsDownCores(t *testing.T) {
+	cfg := machine.Niagara()
+	down := map[int]bool{0: true, 2: true}
+	for _, dist := range []core.Dist{core.IntraProc, core.InterProc} {
+		d := AllocateExcluding(cfg, Job{N: 8, PowerPerProc: 1, Dist: dist}, 0, down)
+		if !d.Feasible {
+			t.Fatalf("dist %v infeasible: %s", dist, d.Reason)
+		}
+		for i, th := range d.Placement {
+			if c := cfg.CoreOf(th); down[c] {
+				t.Fatalf("dist %v member %d placed on down core %d", dist, i, c)
+			}
+		}
+		if err := Verify(cfg, d, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllocateExcludingInfeasibleWhenSurvivorsShort(t *testing.T) {
+	cfg := machine.Niagara() // 8 cores × 4 threads
+	down := map[int]bool{}
+	for c := 0; c < 7; c++ {
+		down[c] = true
+	}
+	// One surviving core under a cap of 3 offers 3 slots; 4 don't fit.
+	d := AllocateExcluding(cfg, Job{N: 4, PowerPerProc: 5, Dist: core.IntraProc}, 15, down)
+	if d.Feasible {
+		t.Fatal("placed a job larger than the surviving capacity")
+	}
+	if d.Reason == "" {
+		t.Fatal("no reason given")
+	}
+}
+
+func TestAllocateExcludingAllCoresDown(t *testing.T) {
+	cfg := machine.SingleCore()
+	d := AllocateExcluding(cfg, Job{N: 1, PowerPerProc: 1, Dist: core.IntraProc}, 0,
+		map[int]bool{0: true})
+	if d.Feasible {
+		t.Fatal("placed a job on a fully-failed machine")
+	}
+}
+
+func TestAllocateExcludingNilMatchesAllocate(t *testing.T) {
+	// With nothing excluded, AllocateExcluding must be byte-identical to
+	// Allocate (the E9/E11 goldens pin Allocate's reasons and layouts).
+	freq := []float64{0.5, 0.5, 2, 2, 1, 1, 1, 1}
+	for _, cfg := range []machine.Config{machine.Niagara(), machine.Generic(), machine.Niagara().WithCoreFreq(freq)} {
+		for _, dist := range []core.Dist{core.IntraProc, core.InterProc} {
+			for _, n := range []int{1, 5, 8, 33} {
+				job := Job{Name: "j", N: n, PowerPerProc: 5, Dist: dist}
+				a := Allocate(cfg, job, 15)
+				b := AllocateExcluding(cfg, job, 15, nil)
+				c := AllocateExcluding(cfg, job, 15, map[int]bool{})
+				if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+					t.Fatalf("divergence for n=%d dist=%v:\n%+v\n%+v\n%+v", n, dist, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAllocateExcludingHeterogeneousPrefersFastSurvivors(t *testing.T) {
+	// Fastest core (2) is down: packing must start at the next-fastest
+	// survivor (3), never touching 2.
+	freq := []float64{0.5, 0.5, 2, 2, 1, 1, 1, 1}
+	cfg := machine.Niagara().WithCoreFreq(freq)
+	d := AllocateExcluding(cfg, Job{N: 4, PowerPerProc: 1, Dist: core.IntraProc}, 0,
+		map[int]bool{2: true})
+	if !d.Feasible {
+		t.Fatal(d.Reason)
+	}
+	for i := 0; i < 4; i++ {
+		if got := cfg.CoreOf(d.Placement[i]); got != 3 {
+			t.Fatalf("member %d on core %d, want surviving fast core 3", i, got)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -62,6 +63,18 @@ type Kernel struct {
 	nextID  int
 	running bool
 
+	// Error-path teardown state (see finish). stopped marks the kernel
+	// permanently dead after an error-terminated Run; poisoned is set
+	// while (and after) parked processes are being unwound; unwound is
+	// the rendezvous each unwinding goroutine signals on; doneSender,
+	// when non-nil, is the process whose own unwind must deliver the
+	// done signal (the process that detected the error from inside its
+	// park and still has its own stack to unwind).
+	stopped    bool
+	poisoned   bool
+	unwound    chan struct{}
+	doneSender *Proc
+
 	// MaxEvents bounds the number of dispatched events; 0 means no
 	// bound. Exceeding it makes Run return ErrEventLimit. Coalesced
 	// holds (see Proc.Hold) count as dispatches, so the bound is
@@ -82,6 +95,9 @@ func NewKernel() *Kernel {
 		// Buffered so the goroutine that ends the simulation can signal
 		// Run and exit without a rendezvous.
 		done: make(chan struct{}, 1),
+		// Unbuffered on purpose: teardown unwinds parked goroutines one
+		// at a time, and the rendezvous is the sequencing.
+		unwound: make(chan struct{}),
 	}
 }
 
@@ -161,6 +177,14 @@ func (e *ErrEventLimit) Error() string {
 	return fmt.Sprintf("sim: event limit %d exceeded", e.Limit)
 }
 
+// ErrStopped is returned by Run when the kernel has already terminated
+// with an error. An error-terminated Run tears the simulation down —
+// every parked process is unwound and retired — so there is no
+// coherent state to resume from; the kernel is permanently dead and a
+// new one must be built. (Re-Run after a nil-error Run remains valid:
+// spawn more processes and call Run again.)
+var ErrStopped = errors.New("sim: kernel stopped after error; create a new Kernel")
+
 // ProcPanic wraps a panic raised inside a process body.
 type ProcPanic struct {
 	Proc  string
@@ -173,7 +197,13 @@ func (e *ProcPanic) Error() string {
 
 // Run dispatches events until no process remains live and the event
 // queue is empty, and returns nil; or returns the first error:
-// a process panic, a deadlock, or the event limit.
+// a process panic, a deadlock, the event limit, or ErrStopped if a
+// previous Run already failed.
+//
+// An error return is a full teardown: before Run returns, every parked
+// process goroutine is poison-resumed, unwound through its deferred
+// functions, and retired, so no goroutine outlives an error-terminated
+// Run. The kernel is then permanently stopped (see ErrStopped).
 //
 // Run's goroutine is not the dispatcher. It seeds the baton — the right
 // to run the dispatch loop — and then waits for whichever goroutine
@@ -183,40 +213,62 @@ func (k *Kernel) Run() error {
 	if k.running {
 		panic("sim: Kernel.Run is not reentrant")
 	}
+	if k.stopped {
+		return ErrStopped
+	}
 	k.running = true
 	defer func() { k.running = false }()
 
 	k.err = nil
+	k.doneSender = nil
 	k.dispatch(nil)
 	<-k.done
 	return k.err
 }
 
+// batonState is dispatch's verdict on where the baton went.
+type batonState uint8
+
+const (
+	// batonPassed: the baton went to another goroutine (or the
+	// simulation finished with the caller not parked); the caller must
+	// block on its resume channel or return.
+	batonPassed batonState = iota
+	// batonSelf: the next runnable process is the caller; it resumes in
+	// place with no channel handoff.
+	batonSelf
+	// batonDead: the simulation terminated with an error while the
+	// caller was parked; the caller must unwind instead of resuming.
+	batonDead
+)
+
 // dispatch runs the event loop while the calling goroutine holds the
 // scheduler baton. self is the process whose goroutine is calling (nil
-// from Run or from a finished process). It returns true when the next
-// runnable process is self — the caller resumes in place with no
-// channel handoff at all — and false after passing the baton to another
-// goroutine or ending the simulation via finish.
+// from Run or from a finished process). It returns batonSelf when the
+// next runnable process is self — the caller resumes in place with no
+// channel handoff at all — batonDead when the simulation ended in an
+// error while self was parked (the caller must unwind), and
+// batonPassed after handing the baton to another goroutine or ending
+// the simulation normally.
 //
 // The pop sequence and event handling are identical to a centralized
 // loop; only the goroutine executing them differs, so dispatch order —
 // and therefore every virtual-time result — is unchanged.
-func (k *Kernel) dispatch(self *Proc) bool {
+func (k *Kernel) dispatch(self *Proc) batonState {
 	for {
 		if k.events.Len() == 0 {
 			if k.live == 0 {
-				k.finish(nil)
+				k.finish(nil, self)
 			} else {
-				k.finish(&ErrDeadlock{At: k.now, Blocked: k.blockedNames()})
+				k.finish(&ErrDeadlock{At: k.now, Blocked: k.blockedNames()}, self)
 			}
-			return false
+			return k.batonAfterFinish(self)
 		}
 		ev := k.events.pop()
 		k.dispatched++
 		if k.MaxEvents > 0 && k.dispatched > k.MaxEvents {
-			k.finish(&ErrEventLimit{Limit: k.MaxEvents})
-			return false
+			k.finish(&ErrEventLimit{Limit: k.MaxEvents}, self)
+			return k.batonAfterFinish(self)
 		}
 		k.now = ev.at
 
@@ -231,9 +283,17 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			k.inCall = false
 		case evStart:
 			p := ev.proc
+			if p.killed {
+				// Killed before first activation: retire without ever
+				// creating a goroutine.
+				p.state = stateDone
+				k.live--
+				p.joiners.broadcastLocked(k)
+				continue
+			}
 			p.state = stateRunning
 			go p.run()
-			return false
+			return batonPassed
 		case evWake:
 			p := ev.proc
 			if p.state == stateDone {
@@ -244,20 +304,63 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			}
 			p.state = stateRunning
 			if p == self {
-				return true
+				return batonSelf
 			}
 			p.resume <- struct{}{}
-			return false
+			return batonPassed
 		}
 	}
+}
+
+// batonAfterFinish classifies the dispatch return after finish: a
+// caller that was parked when the error hit must unwind its own stack
+// (batonDead); otherwise — Run's seed dispatch, a finished process's
+// trailing dispatch, or a normal end — the baton simply stops.
+func (k *Kernel) batonAfterFinish(self *Proc) batonState {
+	if self != nil && k.poisoned {
+		return batonDead
+	}
+	return batonPassed
 }
 
 // finish records the simulation outcome and releases Run. Exactly one
 // goroutine holds the baton at any instant, and dispatch stops looping
 // after calling finish, so it runs at most once per Run.
-func (k *Kernel) finish(err error) {
+//
+// On an error outcome finish also tears the kernel down: every parked
+// process goroutine is poison-resumed and fully unwound (running its
+// deferred functions) before Run returns, so an error-terminated Run
+// strands nothing. self is the process whose goroutine detected the
+// error (nil when that was Run's seed dispatch or a finished process's
+// trailing dispatch). self cannot unwind itself from here — that
+// happens when its enclosing park observes batonDead — so when self is
+// still parked, the done signal is deferred to self's own unwind
+// (doneSender; see Proc.run).
+func (k *Kernel) finish(err error, self *Proc) {
 	k.err = err
+	if err != nil {
+		k.stopped = true
+		k.teardown(self)
+		if self != nil && self.state == stateWaiting {
+			k.doneSender = self
+			return
+		}
+	}
 	k.done <- struct{}{}
+}
+
+// teardown poison-resumes every parked process except self, waiting
+// for each goroutine to finish unwinding before resuming the next —
+// the one-goroutine-at-a-time invariant holds even through error
+// exits, so unwinding defers may safely touch kernel state.
+func (k *Kernel) teardown(self *Proc) {
+	k.poisoned = true
+	for _, p := range k.procs {
+		if p != self && p.state == stateWaiting {
+			p.resume <- struct{}{}
+			<-k.unwound
+		}
+	}
 }
 
 // blockedNames lists live processes for deadlock reports,

@@ -2,6 +2,15 @@ package sim
 
 import "fmt"
 
+// errUnwind is the sentinel panicked through a process body to unwind
+// its goroutine when the process is killed or the kernel tears down
+// after a fatal error. Deferred functions run as usual; the run wrapper
+// recovers the sentinel and retires the process. Recover-all code in
+// process bodies must re-panic values it does not recognize or it will
+// swallow its own cancellation (the STM layer already follows this
+// rule for its own control-flow panics).
+var errUnwind = new(int)
+
 type procState uint8
 
 const (
@@ -38,6 +47,7 @@ type Proc struct {
 	fn     func(p *Proc)
 
 	joiners WaitQueue // processes blocked in Join on this one
+	killed  bool      // Kill was called; unwind at the next chance
 
 	// Ctx is an arbitrary per-process slot for higher layers (the
 	// STAMP core attaches its accounting context here).
@@ -56,30 +66,86 @@ func (p *Proc) Done() bool { return p.state == stateDone }
 // Kernel returns the kernel the process runs on.
 func (p *Proc) Kernel() *Kernel { return p.k }
 
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Unwinding reports whether the process must abandon execution: it was
+// killed, or the kernel is tearing down after a fatal error. Cleanup
+// code (deferred functions) uses this to skip work that would advance
+// the clock or block.
+func (p *Proc) Unwinding() bool { return p.killed || p.k.poisoned }
+
+// Kill terminates the process without ending the simulation: its
+// goroutine unwinds (deferred functions run), processes joined on it
+// are woken, and dispatch continues. Killing an already-done or
+// already-killed process is a no-op. Kill must be called from
+// simulation context — a process body or a kernel callback — and is
+// itself instantaneous in virtual time.
+//
+// A process killed while parked is woken at the current time and
+// unwinds instead of resuming; one killed before its first activation
+// is retired without its goroutine ever starting; a process may kill
+// itself, which unwinds immediately (Kill does not return).
+func (p *Proc) Kill() {
+	if p.state == stateDone || p.killed {
+		return
+	}
+	p.killed = true
+	switch p.state {
+	case stateNew:
+		// Not yet activated: its pending evStart retires it.
+	case stateWaiting:
+		// Poison-wake: the pending park observes killed and unwinds.
+		// Any wake already queued for p goes stale and is ignored.
+		p.k.push(p.k.now, evWake, p, nil)
+	case stateRunning:
+		// Only the running process itself can observe this state (the
+		// kernel is strictly sequential), so this is a self-kill.
+		panic(errUnwind)
+	}
+}
+
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
 // run is the goroutine body wrapper: it executes fn, then — still
-// holding the baton — retires the process and dispatches onward.
+// holding the baton — retires the process and dispatches onward. It is
+// also where every unwind converges: a kill or kernel teardown panics
+// the errUnwind sentinel through the body (running its defers), and
+// the recover here decides whether to keep dispatching (kill), signal
+// the teardown rendezvous (poison), or report a user panic.
 func (p *Proc) run() {
 	k := p.k
 	defer func() {
-		if r := recover(); r != nil {
-			if k.inCall {
-				// The panic came from a kernel-context callback that
-				// happened to be dispatched on this goroutine, not from
-				// p's body. Crash, as the centralized loop would have.
-				panic(r)
-			}
-			p.state = stateDone
-			k.live--
-			k.finish(&ProcPanic{Proc: p.name, Value: r})
-			return
+		r := recover()
+		if r != nil && k.inCall {
+			// The panic came from a kernel-context callback that
+			// happened to be dispatched on this goroutine, not from
+			// p's body. Crash, as the centralized loop would have.
+			panic(r)
 		}
 		p.state = stateDone
 		k.live--
+		if k.poisoned {
+			// Kernel teardown: retire quietly and hand control back to
+			// the teardown loop — or release Run directly when this
+			// process is the one that detected the error (its unwind
+			// was deferred past finish; see Kernel.finish).
+			if k.doneSender == p {
+				k.done <- struct{}{}
+			} else {
+				k.unwound <- struct{}{}
+			}
+			return
+		}
+		if r != nil && r != errUnwind {
+			k.finish(&ProcPanic{Proc: p.name, Value: r}, p)
+			return
+		}
+		// Normal return, or a Kill unwind: wake joiners and pass the
+		// baton on; this goroutine exits.
 		p.joiners.broadcastLocked(k)
-		k.dispatch(nil) // pass the baton on; this goroutine exits
+		k.dispatch(nil)
 	}()
 	p.fn(p)
 }
@@ -101,6 +167,9 @@ func (p *Proc) Hold(d Time) {
 		panic("sim: Hold with negative duration")
 	}
 	k := p.k
+	if p.killed || k.poisoned {
+		panic(errUnwind)
+	}
 	if k.canCoalesce(d) {
 		k.dispatched++
 		k.now += d
@@ -123,13 +192,24 @@ func (p *Proc) CanCoalesce(d Time) bool { return p.k.canCoalesce(d) }
 // the loop finds that the next runnable process is p (every intervening
 // event was a timer callback), park returns without touching a channel;
 // otherwise it blocks until some later baton holder dispatches p's
-// wake and resumes it.
+// wake and resumes it. A resume that arrives because p was killed, or
+// because the kernel is tearing down after an error, unwinds the
+// goroutine instead of returning.
 func (p *Proc) park() {
-	p.state = stateWaiting
-	if p.k.dispatch(p) {
-		return
+	if p.killed || p.k.poisoned {
+		panic(errUnwind)
 	}
-	<-p.resume
+	p.state = stateWaiting
+	switch p.k.dispatch(p) {
+	case batonSelf:
+	case batonDead:
+		panic(errUnwind)
+	default:
+		<-p.resume
+	}
+	if p.killed || p.k.poisoned {
+		panic(errUnwind)
+	}
 }
 
 // Join blocks until other's body has returned. Joining an already-done

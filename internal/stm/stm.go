@@ -25,7 +25,9 @@ type Agent interface {
 	Proc() *sim.Proc
 	Thread() machine.ThreadID
 	Counters() *energy.Counters
-	HoldCost(ticks float64)
+	// ChargeCost charges virtual time with deterministic per-category
+	// fractional carry, attributing materialized ticks to cat.
+	ChargeCost(cat obs.Category, ticks float64)
 	// Profile returns the process's virtual-time profile sink, or nil
 	// when profiling is disabled (the nil profile is a no-op).
 	Profile() *obs.ProcProfile
@@ -248,8 +250,8 @@ func (tx *Tx) chargeAccess(write bool) {
 	p := tx.agent.Proc()
 	t0 := p.Now()
 	p.Hold(c.EllE)
-	tx.agent.HoldCost(c.GShE)
 	tx.agent.Profile().Charge(obs.CatMemWait, p.Now()-t0)
+	tx.agent.ChargeCost(obs.CatMemWait, c.GShE)
 	if write {
 		tx.agent.Counters().WritesInter++
 	} else {
