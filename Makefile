@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-smoke check fmt vet race
+.PHONY: all build test bench bench-smoke check fmt vet lint race
 
 all: build
 
@@ -30,11 +30,17 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/...
+# go vet plus the repo's own STAMP-aware analyzers (cmd/stamplint):
+# determinism, map-iteration order, uncharged backdoors, S-round misuse.
+lint: vet
+	$(GO) run ./cmd/stamplint ./...
 
-# The PR gate: everything must build, vet and be gofmt-clean, the
-# simulator, core, experiment harness and observability packages must
-# pass under the race detector, and every benchmark must at least run.
-check: build vet fmt race bench-smoke
+race:
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/... ./internal/racedet/...
+
+# The PR gate: everything must build, lint (go vet + stamplint) and be
+# gofmt-clean, the simulator, core, experiment harness, observability
+# and race-detector packages must pass under the Go race detector, and
+# every benchmark must at least run.
+check: build lint fmt race bench-smoke
 	$(GO) test ./...

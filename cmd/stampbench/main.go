@@ -24,10 +24,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/racedet"
 )
 
 func main() {
@@ -37,7 +41,21 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker goroutines for the full suite (0 = one per CPU; ignored with -experiment)")
 	benchOut := flag.String("bench-out", "", "write wall-clock suite timings as JSON to this file")
 	metricsDir := flag.String("metrics-out", "", "write one Prometheus-text metric dump per experiment into this directory")
+	doRace := flag.Bool("race", false, "attach the model-level race detector to every experiment; exit 1 if any race is found")
 	flag.Parse()
+
+	var raceMu sync.Mutex
+	var races []string
+	if *doRace {
+		core.AddGlobalOption(func(sys *core.System) {
+			d := racedet.Attach(sys)
+			d.OnRace = func(r *racedet.Report) {
+				raceMu.Lock()
+				races = append(races, r.String())
+				raceMu.Unlock()
+			}
+		})
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -100,6 +118,20 @@ func main() {
 			failed++
 			fmt.Fprintf(os.Stderr, "experiment %s has failing checks\n", r.ID)
 		}
+	}
+	if *doRace {
+		raceMu.Lock()
+		sort.Strings(races) // stable across -parallel worker counts
+		for _, r := range races {
+			fmt.Fprint(os.Stderr, r)
+		}
+		n := len(races)
+		raceMu.Unlock()
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "stampbench: %d model-level race(s) detected\n", n)
+			os.Exit(1)
+		}
+		fmt.Println("racedet: suite race-clean")
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/racedet"
 	"repro/internal/stm"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -53,6 +54,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write causal spans as Chrome trace-event JSON to this file")
 	metricsOut := flag.String("metrics-out", "", "write run metrics to this file (.json → JSON, otherwise Prometheus text)")
 	doProfile := flag.Bool("profile", false, "print the per-process virtual-time breakdown and hotspots")
+	doRace := flag.Bool("race", false, "detect model-level data races (happens-before over virtual time); exit 1 if one is found")
 	flag.Parse()
 
 	var cfg machine.Config
@@ -102,6 +104,10 @@ func main() {
 		opts = append(opts, core.WithObs(ob))
 	}
 	sys := core.NewSystem(cfg, opts...)
+	var det *racedet.Detector
+	if *doRace {
+		det = racedet.Attach(sys)
+	}
 	fmt.Println(cfg.Describe())
 
 	switch *app {
@@ -216,6 +222,13 @@ func main() {
 		fmt.Println()
 		fmt.Print(ob.Profiler().Table())
 		fmt.Print(ob.Profiler().Hotspots(5))
+	}
+	if *doRace {
+		fmt.Println()
+		fmt.Print(det.Text())
+		if det.Report() != nil {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ func runAPSP(w [][]int64, slow []float64) {
 	x := stamp.NewRegion[int64](sys, "dist", stamp.Inter, 0, v*v)
 	for i := 0; i < v; i++ {
 		for j := 0; j < v; j++ {
+			//stamplint:allow backdoor: cost-free initialization before the simulation starts
 			x.Poke(i*v+j, w[i][j])
 		}
 	}
@@ -106,8 +107,9 @@ func runAPSP(w [][]int64, slow []float64) {
 	want := floydWarshall(w)
 	for i := 0; i < v; i++ {
 		for j := 0; j < v; j++ {
-			if x.Peek(i*v+j) != want[i][j] {
-				log.Fatalf("dist[%d][%d] = %d, want %d", i, j, x.Peek(i*v+j), want[i][j])
+			//stamplint:allow backdoor: cost-free result check after the simulation ends
+			if got := x.Peek(i*v + j); got != want[i][j] {
+				log.Fatalf("dist[%d][%d] = %d, want %d", i, j, got, want[i][j])
 			}
 		}
 	}

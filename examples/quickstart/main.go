@@ -17,6 +17,7 @@ func main() {
 	// A shared vector in chip-level (inter-processor) memory.
 	vec := stamp.NewRegion[float64](sys, "vec", stamp.Inter, 0, 64)
 	for i := 0; i < 64; i++ {
+		//stamplint:allow backdoor: cost-free initialization before the simulation starts
 		vec.Poke(i, float64(i))
 	}
 
@@ -55,5 +56,6 @@ func main() {
 	m := stamp.CostFromTable(stamp.Niagara().Costs)
 	fmt.Printf("  analytical per-process: T=%.0f E=%.0f\n", round.T(m), round.E(m))
 
+	//stamplint:allow backdoor: cost-free result extraction after the simulation ends
 	fmt.Printf("  vec[3] = %v (want 6)\n", vec.Peek(3))
 }

@@ -113,13 +113,18 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 
 	// Shared state: the distance matrix (row-major) and a change
 	// counter region, all at chip scope (inter-processor shared memory).
-	x := memory.NewRegion[int64](sys.Mem, "apsp/x", memory.Inter, 0, v*v)
+	// Both regions are racy by design — the paper's point about this
+	// algorithm — so they are declared as such for the race detector.
+	x := memory.NewRegion[int64](sys.Mem, "apsp/x", memory.Inter, 0, v*v).
+		AllowRaces("single-writer rows read racily across processes; min-plus updates are monotone, so a stale read only delays convergence")
 	for i := 0; i < v; i++ {
 		for j := 0; j < v; j++ {
+			//stamplint:allow backdoor: cost-free initialization before the simulation starts
 			x.Poke(i*v+j, g.W[i][j])
 		}
 	}
-	changes := memory.NewRegion[int64](sys.Mem, "apsp/changes", memory.Inter, 0, 1)
+	changes := memory.NewRegion[int64](sys.Mem, "apsp/changes", memory.Inter, 0, 1).
+		AllowRaces("deliberately racy read-modify-write counter; lost updates are harmless because any bump changes the value")
 
 	rounds := make([]int, v)
 	epochs := 0
@@ -159,9 +164,11 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 					ctx.HoldCost(float64(2*v*v) * (slow - 1))
 				}
 				// write x_i: update the i-th row (only changed words
-				// go back to memory).
+				// go back to memory). Process i is row i's only
+				// writer, so the value read into m this round is
+				// still the committed one.
 				for j := 0; j < v; j++ {
-					if row[j] != x.Peek(i*v+j) {
+					if row[j] != m[i*v+j] {
 						x.Write(ctx, i*v+j, row[j])
 					}
 				}
@@ -223,6 +230,7 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 	for i := 0; i < v; i++ {
 		out[i] = make([]int64, v)
 		for j := 0; j < v; j++ {
+			//stamplint:allow backdoor: cost-free result extraction after the simulation ends
 			out[i][j] = x.Peek(i*v + j)
 		}
 	}

@@ -56,6 +56,7 @@ func RunShared(sys *core.System, cfg SharedConfig) (Result, error) {
 	bufB := memory.NewRegion[float64](sys.Mem, "jacobi/xB", memory.Inter, 0, n)
 	deltas := memory.NewRegion[float64](sys.Mem, "jacobi/delta", memory.Inter, 0, n)
 	for i := 0; i < n; i++ {
+		//stamplint:allow backdoor: cost-free initialization before the simulation starts
 		deltas.Poke(i, math.Inf(1))
 	}
 

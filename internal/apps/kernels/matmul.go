@@ -36,6 +36,7 @@ func MatMul(sys *core.System, a, b [][]float64, p int) (MatMulResult, error) {
 	bShared := memory.NewRegion[float64](sys.Mem, "matmul/B", memory.Inter, 0, n*n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
+			//stamplint:allow backdoor: cost-free initialization before the simulation starts
 			bShared.Poke(i*n+j, b[i][j])
 		}
 	}
@@ -66,6 +67,7 @@ func MatMul(sys *core.System, a, b [][]float64, p int) (MatMulResult, error) {
 	for i := range c {
 		c[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
+			//stamplint:allow backdoor: cost-free result extraction after the simulation ends
 			c[i][j] = cShared.Peek(i*n + j)
 		}
 	}

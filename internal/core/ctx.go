@@ -138,6 +138,19 @@ func (c *Ctx) spanParent() obs.SpanID {
 // Endpoint returns the process's message-passing mailbox.
 func (c *Ctx) Endpoint() *msgpass.Endpoint { return c.ep }
 
+// Coordinates reports the process's position in the S-unit/S-round
+// structure: the current unit and round indices and whether a unit or
+// round is open. Tooling (the race detector's reports) reads this to
+// locate an event in model terms; the indices count completed phases,
+// so an open round's index is the one it will be recorded under.
+func (c *Ctx) Coordinates() (unit, round int, inUnit, inRound bool) {
+	return c.unit, c.round, c.inUnit, c.inRound
+}
+
+// CurrentSpan returns the innermost open structural span (round ⊃ unit
+// ⊃ proc), or 0 when span tracing is disabled.
+func (c *Ctx) CurrentSpan() obs.SpanID { return c.spanParent() }
+
 // Now returns the current virtual time, materializing any pending
 // batched compute time first.
 func (c *Ctx) Now() sim.Time {

@@ -58,6 +58,23 @@ func WithObs(o *obs.Observer) Option {
 	return func(s *System) { s.Obs = o }
 }
 
+// globalOpts are applied to every System NewSystem builds, before the
+// per-call options. Process-wide tooling (stampbench -race attaching a
+// detector to each experiment's system) registers here.
+var globalOpts []Option
+
+// AddGlobalOption registers an Option applied to every subsequently
+// built System, before per-call options. Register before any
+// simulation starts: the slice is read, unlocked, from every
+// NewSystem call, including ones on parallel experiment workers. The
+// returned function unregisters the option (for tests that must not
+// leak it into the rest of the binary).
+func AddGlobalOption(o Option) (remove func()) {
+	globalOpts = append(globalOpts, o)
+	i := len(globalOpts) - 1
+	return func() { globalOpts[i] = nil }
+}
+
 // NewSystem builds a System on a fresh kernel for machine configuration
 // cfg.
 func NewSystem(cfg machine.Config, opts ...Option) *System {
@@ -69,6 +86,11 @@ func NewSystem(cfg machine.Config, opts ...Option) *System {
 		Mem: memory.New(m),
 		Net: msgpass.New(m),
 		TM:  stm.New(m, nil),
+	}
+	for _, o := range globalOpts {
+		if o != nil {
+			o(sys)
+		}
 	}
 	for _, o := range opts {
 		o(sys)

@@ -25,7 +25,8 @@ func init() {
 func kappaRun(words int) (t sim.Time, queueWait sim.Time) {
 	const procs = 32
 	sys := core.NewSystem(machine.Niagara())
-	r := memory.NewRegion[int64](sys.Mem, "ctr", memory.Inter, 0, words)
+	r := memory.NewRegion[int64](sys.Mem, "ctr", memory.Inter, 0, words).
+		AllowRaces("deliberately unsynchronized counter bumps: the ablation measures κ serialization cost, not the sum")
 	attrs := core.Attrs{Dist: core.InterProc, Exec: core.AsyncExec, Comm: core.AsyncComm}
 	g := sys.NewGroup("kappa", attrs, procs, func(ctx *core.Ctx) {
 		w := ctx.Index() % words

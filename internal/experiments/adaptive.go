@@ -51,6 +51,7 @@ func runAdaptive() Result {
 	rep1 := ph1.Report()
 	pc1 := rep1.PowerPerCore(cfg, cfg.Costs)
 	worst1 := 0.0
+	//stamplint:allow maprange: max over the values is order-independent
 	for _, p := range pc1 {
 		if p > worst1 {
 			worst1 = p
@@ -84,6 +85,7 @@ func runAdaptive() Result {
 	rep2 := ph2.Report()
 	pc2 := rep2.PowerPerCore(cfg, cfg.Costs)
 	worst2 := 0.0
+	//stamplint:allow maprange: max over the values is order-independent
 	for _, p := range pc2 {
 		if p > worst2 {
 			worst2 = p

@@ -20,7 +20,9 @@ func dvfsKernel(cfg machine.Config, procs int, totalOps int64) energy.Report {
 	attrs := core.Attrs{Dist: core.InterProc, Exec: core.AsyncExec, Comm: core.AsyncComm}
 	per := totalOps / int64(procs)
 	g := sys.NewGroup("dvfs", attrs, procs, func(ctx *core.Ctx) {
-		ctx.IntOps(per)
+		ctx.SRound(func() {
+			ctx.IntOps(per)
+		})
 	})
 	if err := sys.Run(); err != nil {
 		panic(err)

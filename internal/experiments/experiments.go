@@ -73,6 +73,7 @@ func register(id, title string, r Runner) {
 // IDs returns the registered experiment ids, sorted.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
+	//stamplint:allow maprange: the ids are sorted before being returned
 	for id := range registry {
 		ids = append(ids, id)
 	}

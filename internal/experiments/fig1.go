@@ -37,12 +37,14 @@ func fig1Kernel(scope memory.Scope) (core.GroupReport, machine.Config) {
 		coreIdx := cfg.CoreOf(ctx.Thread())
 		r := regions[coreIdx]
 		lane := int(ctx.Thread()) % cfg.ThreadsPerCore
-		for i := 0; i < 16; i++ {
-			idx := lane*16 + i
-			x := r.Read(ctx, idx)
-			ctx.FpOps(2) // a*x + y
-			r.Write(ctx, idx, 2*x+1)
-		}
+		ctx.SRound(func() {
+			for i := 0; i < 16; i++ {
+				idx := lane*16 + i
+				x := r.Read(ctx, idx)
+				ctx.FpOps(2) // a*x + y
+				r.Write(ctx, idx, 2*x+1)
+			}
+		})
 	})
 	if err := sys.Run(); err != nil {
 		panic(fmt.Sprintf("fig1: %v", err))

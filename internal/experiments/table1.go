@@ -20,7 +20,8 @@ func init() {
 func table1Cell(attrs core.Attrs, procs, rounds int) (rep core.GroupReport, tm *stm.STM, finalCount int64) {
 	sys := core.NewSystem(machine.Niagara(), core.WithContentionManager(stm.Timestamp{}))
 	ctr := stm.NewTVar(sys.TM, "ctr", int64(0))
-	raw := memory.NewRegion[int64](sys.Mem, "raw", memory.Inter, 0, 1)
+	raw := memory.NewRegion[int64](sys.Mem, "raw", memory.Inter, 0, 1).
+		AllowRaces("async_exec cell bumps the counter racily on purpose — Table 1 contrasts it with the trans_exec cell")
 
 	g := sys.NewGroup("t1", attrs, procs, func(ctx *core.Ctx) {
 		right := (ctx.Index() + 1) % procs
@@ -51,6 +52,7 @@ func table1Cell(attrs core.Attrs, procs, rounds int) (rep core.GroupReport, tm *
 	if attrs.Exec == core.TransExec {
 		finalCount = ctr.Value()
 	} else {
+		//stamplint:allow backdoor: cost-free result extraction after the simulation ends
 		finalCount = raw.Peek(0)
 	}
 	return g.Report(), sys.TM, finalCount

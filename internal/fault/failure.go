@@ -75,6 +75,7 @@ func (pl *Plan) Down() map[int]bool { return pl.down }
 // DownList returns the failed core indices in ascending order.
 func (pl *Plan) DownList() []int {
 	out := make([]int, 0, len(pl.down))
+	//stamplint:allow maprange: the indices are sorted before being returned
 	for c := range pl.down {
 		out = append(out, c)
 	}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// annPrefix is the suppression marker: one comment line of the form
+//
+//	//stamplint:allow <check>: <reason>
+//
+// on the offending line or the line directly above it.
+const annPrefix = "//stamplint:allow"
+
+// Annotation is one parsed //stamplint:allow comment.
+type Annotation struct {
+	Pos    token.Position
+	Check  string
+	Reason string
+	// Used is set during Analyze when the annotation suppressed at
+	// least one finding.
+	Used bool
+	// Malformed holds a diagnostic when the annotation does not parse
+	// (unknown check, missing reason); such annotations suppress
+	// nothing and are reported as findings.
+	Malformed string
+}
+
+// collectAnnotations parses every //stamplint:allow comment in the
+// package. known is the set of valid check names.
+func collectAnnotations(p *Pkg, known map[string]bool) []*Annotation {
+	var anns []*Annotation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, annPrefix) {
+					continue
+				}
+				a := &Annotation{Pos: p.Fset.Position(c.Pos())}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, annPrefix))
+				check, reason, colon := strings.Cut(rest, ":")
+				a.Check = strings.TrimSpace(check)
+				a.Reason = strings.TrimSpace(reason)
+				switch {
+				case a.Check == "":
+					a.Malformed = "stamplint:allow annotation names no check (want //stamplint:allow <check>: <reason>)"
+				case !known[a.Check]:
+					a.Malformed = fmt.Sprintf("stamplint:allow annotation names unknown check %q", a.Check)
+				case !colon || a.Reason == "":
+					a.Malformed = "stamplint:allow annotation has no reason — say why the violation is safe"
+				}
+				anns = append(anns, a)
+			}
+		}
+	}
+	return anns
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// backdoorMethods are the uncharged escapes of the memory and stm
+// substrates, keyed by defining package. They bypass the d_r/d_w (and
+// transactional) accounting that T, E and P are built from, so outside
+// tests every call site must justify itself: setup before the
+// simulation starts, or extraction after it ends.
+var backdoorMethods = map[string]map[string]bool{
+	"repro/internal/memory": {
+		"Peek": true, "Poke": true, "Fill": true, "Snapshot": true,
+	},
+	"repro/internal/stm": {
+		"SetValue": true,
+	},
+}
+
+// Backdoor flags calls to uncharged memory/STM accessors in non-test
+// code anywhere in the repo (the loader only parses non-test files, so
+// _test.go is exempt by construction). The defining substrates
+// themselves are exempt: the backdoors' own implementations and the
+// substrates' internal uses are the mechanism, not a violation.
+func Backdoor() *Analyzer {
+	return &Analyzer{
+		Name: "backdoor",
+		Doc:  "flag uncharged Peek/Poke/Fill/Snapshot/SetValue calls outside tests",
+		Run: func(p *Pkg) []Finding {
+			if backdoorMethods[p.Path] != nil {
+				return nil
+			}
+			var out []Finding
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Signature().Recv() == nil {
+						return true
+					}
+					if backdoorMethods[fn.Pkg().Path()][fn.Name()] {
+						out = append(out, Finding{
+							Pos:     p.Fset.Position(sel.Pos()),
+							Check:   "backdoor",
+							Message: fmt.Sprintf("%s bypasses substrate cost accounting; use a charged access, or annotate why this site is outside the measured run", fn.Name()),
+						})
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenTime are the package-level time functions that read or wait
+// on the wall clock. (Formatting helpers like time.Duration.String are
+// fine; constructing Durations is fine.)
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// allowedRand are the math/rand package-level constructors that do NOT
+// touch the global, nondeterministically-seeded source. Everything
+// else at package level (Intn, Float64, Perm, Shuffle, ...) does.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Determinism forbids wall-clock time and the global math/rand source
+// in the deterministic packages: the simulator is a pure function of
+// its inputs, and the experiment goldens pin that bit-for-bit.
+// Seeded generators (rand.New(rand.NewSource(seed))) are fine.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid time.Now/Sleep and global math/rand in deterministic packages",
+		Run: func(p *Pkg) []Finding {
+			if !DeterministicPkgs[p.Path] {
+				return nil
+			}
+			var out []Finding
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					if fn.Signature().Recv() != nil {
+						return true // methods (e.g. on *rand.Rand) are fine
+					}
+					switch fn.Pkg().Path() {
+					case "time":
+						if forbiddenTime[fn.Name()] {
+							out = append(out, Finding{
+								Pos:     p.Fset.Position(sel.Pos()),
+								Check:   "determinism",
+								Message: fmt.Sprintf("time.%s reads the wall clock; deterministic packages run on virtual time only", fn.Name()),
+							})
+						}
+					case "math/rand", "math/rand/v2":
+						if !allowedRand[fn.Name()] {
+							out = append(out, Finding{
+								Pos:     p.Fset.Position(sel.Pos()),
+								Check:   "determinism",
+								Message: fmt.Sprintf("rand.%s uses the global, nondeterministically-seeded source; use rand.New(rand.NewSource(seed))", fn.Name()),
+							})
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,149 @@
+// Package lint implements stamplint, the repo's STAMP-aware analyzer
+// suite (cmd/stamplint). It is stdlib-only — go/ast, go/parser and
+// go/types over `go list -export` data, in the style of go vet — and
+// enforces the discipline the paper's cost formulas assume:
+//
+//   - determinism: no wall-clock time or global math/rand in the
+//     deterministic packages (the simulator and everything above it
+//     must be a pure function of its inputs);
+//   - maprange: no map iteration in those packages unless the order
+//     provably cannot reach an observable output (annotate why);
+//   - backdoor: no uncharged memory/STM escapes (Peek, Poke, Fill,
+//     Snapshot, SetValue) in non-test code — they bypass the d_r/d_w
+//     accounting that T, E and P are built on;
+//   - sround: no charged substrate work in a group body that never
+//     opens an S-round, and no nested S-units/S-rounds (the model's
+//     structural grammar).
+//
+// A finding is silenced, one site at a time, with an annotation on the
+// same or the preceding line:
+//
+//	//stamplint:allow <check>: <reason>
+//
+// The reason is mandatory, and unused or malformed annotations are
+// themselves findings, so suppressions cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+}
+
+// Analyzer is one check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pkg) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		MapRange(),
+		Backdoor(),
+		SRound(),
+	}
+}
+
+// DeterministicPkgs are the import paths whose behaviour must be a
+// pure function of their inputs: the simulator kernel, the three
+// substrates, the model layer, fault injection, and the experiment
+// harness whose goldens pin every run bit-for-bit.
+var DeterministicPkgs = map[string]bool{
+	"repro/internal/sim":         true,
+	"repro/internal/core":        true,
+	"repro/internal/memory":      true,
+	"repro/internal/msgpass":     true,
+	"repro/internal/stm":         true,
+	"repro/internal/fault":       true,
+	"repro/internal/experiments": true,
+}
+
+// Result is the outcome of analyzing a set of packages.
+type Result struct {
+	Findings    []Finding
+	Annotations []Annotation
+}
+
+// Analyze runs every analyzer over every package, applies annotation
+// suppression, and reports unused/malformed annotations as findings.
+// The returned findings are sorted by position.
+func Analyze(pkgs []*Pkg, analyzers []*Analyzer) Result {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var res Result
+	for _, p := range pkgs {
+		anns := collectAnnotations(p, known)
+		var raw []Finding
+		for _, a := range analyzers {
+			raw = append(raw, a.Run(p)...)
+		}
+		for _, f := range raw {
+			if suppress(anns, f) {
+				continue
+			}
+			res.Findings = append(res.Findings, f)
+		}
+		for _, a := range anns {
+			if a.Malformed != "" {
+				res.Findings = append(res.Findings, Finding{
+					Pos:     a.Pos,
+					Check:   "annotation",
+					Message: a.Malformed,
+				})
+			} else if !a.Used {
+				res.Findings = append(res.Findings, Finding{
+					Pos:     a.Pos,
+					Check:   "annotation",
+					Message: fmt.Sprintf("unused //stamplint:allow %s annotation (nothing to suppress here)", a.Check),
+				})
+			}
+			res.Annotations = append(res.Annotations, *a)
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool { return posLess(res.Findings[i].Pos, res.Findings[j].Pos) })
+	sort.Slice(res.Annotations, func(i, j int) bool { return posLess(res.Annotations[i].Pos, res.Annotations[j].Pos) })
+	return res
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// suppress reports whether an annotation covers f (same file, same
+// check, on the finding's line or the line directly above) and marks
+// the matching annotation used.
+func suppress(anns []*Annotation, f Finding) bool {
+	ok := false
+	for _, a := range anns {
+		if a.Malformed != "" || a.Check != f.Check || a.Pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if a.Pos.Line == f.Pos.Line || a.Pos.Line == f.Pos.Line-1 {
+			a.Used = true
+			ok = true
+		}
+	}
+	return ok
+}

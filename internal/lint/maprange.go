@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for ... range m` over a map in deterministic
+// packages: Go randomizes map iteration order per run, so any map walk
+// whose order can reach an output (virtual time, a report line, an
+// event sequence) breaks reproducibility. Sites that provably cannot
+// (the body sorts afterwards, or is order-commutative) carry a
+// //stamplint:allow maprange annotation saying why.
+func MapRange() *Analyzer {
+	return &Analyzer{
+		Name: "maprange",
+		Doc:  "flag map iteration in deterministic packages (order is randomized per run)",
+		Run: func(p *Pkg) []Finding {
+			if !DeterministicPkgs[p.Path] {
+				return nil
+			}
+			var out []Finding
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rng, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					t := p.Info.TypeOf(rng.X)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						out = append(out, Finding{
+							Pos:     p.Fset.Position(rng.Pos()),
+							Check:   "maprange",
+							Message: "map iteration order is randomized per run; sort the keys first or annotate why order cannot be observed",
+						})
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

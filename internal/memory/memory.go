@@ -57,6 +57,44 @@ func (s Scope) String() string {
 	return "inter"
 }
 
+// AccessKind classifies a shared-memory access for probes.
+type AccessKind uint8
+
+const (
+	// AccessRead is a plain serialized read.
+	AccessRead AccessKind = iota
+	// AccessWrite is a plain serialized write.
+	AccessWrite
+	// AccessAtomic is a read-modify-write (FetchAdd): it both reads and
+	// writes, but concurrent atomics to the same word serialize without
+	// lost updates, so a race checker treats two atomics as ordered
+	// while an atomic still conflicts with a plain access.
+	AccessAtomic
+)
+
+// String returns "read", "write" or "atomic".
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessAtomic:
+		return "atomic"
+	}
+	return fmt.Sprintf("AccessKind(%d)", uint8(k))
+}
+
+// Probe observes charged shared-memory accesses. The race detector
+// (internal/racedet) is the one implementation; it must be passive (no
+// holds, no blocking). Backdoor accessors (Peek/Poke/Snapshot/Fill) and
+// regions marked AllowRaces are never reported.
+type Probe interface {
+	// Access fires after the serialization/latency/bandwidth charges of
+	// one access to word i of the identified region, performed by p.
+	Access(region string, regionID, i int, p *sim.Proc, kind AccessKind)
+}
+
 // Memory is the shared-memory subsystem of one simulated machine.
 type Memory struct {
 	m *machine.Machine
@@ -64,7 +102,12 @@ type Memory struct {
 	// is the unit in which queuing (κ) accumulates. Default 1 tick.
 	ServiceTime sim.Time
 	regions     []regionInfo
+	probe       Probe
 }
+
+// SetProbe attaches an access probe to the memory system (nil
+// detaches). Attach before the simulation runs.
+func (mem *Memory) SetProbe(pr Probe) { mem.probe = pr }
 
 type regionInfo struct {
 	name  string
@@ -120,6 +163,7 @@ func (mem *Memory) RegionStats() []RegionStats {
 type Region[T any] struct {
 	mem      *Memory
 	name     string
+	id       int // allocation index within mem, for probes
 	scope    Scope
 	homeCore int // meaningful for Intra scope
 	vals     []T
@@ -129,6 +173,8 @@ type Region[T any] struct {
 	stalled  int64
 	stallT   sim.Time
 	maxDepth int64
+	racyOK   bool   // AllowRaces was called: exempt from race checking
+	racyWhy  string // the declared justification
 }
 
 // NewRegion allocates a shared region of n words. For Intra scope,
@@ -144,6 +190,7 @@ func NewRegion[T any](mem *Memory, name string, scope Scope, homeCore, n int) *R
 	r := &Region[T]{
 		mem:      mem,
 		name:     name,
+		id:       len(mem.regions),
 		scope:    scope,
 		homeCore: homeCore,
 		vals:     make([]T, n),
@@ -178,9 +225,28 @@ func (r *Region[T]) intraFor(t machine.ThreadID) bool {
 	return r.scope == Intra && r.mem.m.Cfg.CoreOf(t) == r.homeCore
 }
 
+// AllowRaces declares that conflicting unsynchronized accesses to this
+// region are benign by design — deliberately racy algorithms (chaotic
+// relaxation, monotone fixpoints, racy counters whose loss is the
+// quantity being measured) — and exempts it from model-race checking.
+// The justification is mandatory and kept for reports. Returns r for
+// use at the allocation site.
+func (r *Region[T]) AllowRaces(reason string) *Region[T] {
+	if reason == "" {
+		panic("memory: AllowRaces requires a justification")
+	}
+	r.racyOK = true
+	r.racyWhy = reason
+	return r
+}
+
+// RacesAllowed reports whether AllowRaces was called, and the declared
+// justification.
+func (r *Region[T]) RacesAllowed() (bool, string) { return r.racyOK, r.racyWhy }
+
 // access performs the common serialization + latency + bandwidth
 // charging and returns whether the access was intra-processor.
-func (r *Region[T]) access(a Agent, i int) bool {
+func (r *Region[T]) access(a Agent, i int, kind AccessKind) bool {
 	if i < 0 || i >= len(r.vals) {
 		panic(fmt.Sprintf("memory: %s index %d out of range [0,%d)", r.name, i, len(r.vals)))
 	}
@@ -220,13 +286,16 @@ func (r *Region[T]) access(a Agent, i int) bool {
 	// instead of leaking into an unrelated category).
 	a.Profile().Charge(obs.CatMemWait, p.Now()-now)
 	a.ChargeCost(obs.CatMemWait, g)
+	if pr := r.mem.probe; pr != nil && !r.racyOK {
+		pr.Access(r.name, r.id, i, p, kind)
+	}
 	return intra
 }
 
 // Read performs a serialized shared read and returns the value observed
 // at completion time.
 func (r *Region[T]) Read(a Agent, i int) T {
-	intra := r.access(a, i)
+	intra := r.access(a, i, AccessRead)
 	if intra {
 		a.Counters().ReadsIntra++
 	} else {
@@ -238,7 +307,7 @@ func (r *Region[T]) Read(a Agent, i int) T {
 
 // Write performs a serialized shared write.
 func (r *Region[T]) Write(a Agent, i int, v T) {
-	intra := r.access(a, i)
+	intra := r.access(a, i, AccessWrite)
 	if intra {
 		a.Counters().WritesIntra++
 	} else {
@@ -254,7 +323,7 @@ func (r *Region[T]) Write(a Agent, i int, v T) {
 // updates — the hardware atomic the async_exec examples (shared
 // counters, termination detectors) want.
 func FetchAdd[T int64 | int32 | int](r *Region[T], a Agent, i int, delta T) T {
-	intra := r.access(a, i)
+	intra := r.access(a, i, AccessAtomic)
 	if intra {
 		a.Counters().ReadsIntra++
 		a.Counters().WritesIntra++

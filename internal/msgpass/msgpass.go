@@ -70,7 +70,31 @@ type Message struct {
 	Words   int
 	SentAt  sim.Time
 	Arrived sim.Time
+
+	// hb is the probe's happens-before token, stamped at send and
+	// redeemed at receive (0 = no probe was attached at send time). It
+	// rides inside the message so the edge survives delivery delays,
+	// duplication and reordering across endpoints.
+	hb uint64
 }
+
+// Probe observes message transfers for happens-before tracking. The
+// race detector (internal/racedet) is the one implementation; it must
+// be passive (no holds, no blocking).
+type Probe interface {
+	// MsgSend fires when p sends a message from src to dst, before
+	// delivery is scheduled. The returned token (must be nonzero) is
+	// carried by the message and passed to MsgRecv on receipt; a
+	// dropped message's token is simply never redeemed, a duplicated
+	// message's token is redeemed twice.
+	MsgSend(src, dst *Endpoint, p *sim.Proc) uint64
+	// MsgRecv fires when p receives a message carrying token at dst.
+	MsgRecv(dst *Endpoint, p *sim.Proc, token uint64)
+}
+
+// SetProbe attaches a transfer probe to the network (nil detaches).
+// Attach before the simulation runs.
+func (n *Network) SetProbe(pr Probe) { n.probe = pr }
 
 // Network is the message-passing subsystem of one simulated machine.
 type Network struct {
@@ -83,6 +107,7 @@ type Network struct {
 	endpoints []*Endpoint
 
 	faults     FaultInjector
+	probe      Probe
 	dropped    int64
 	duplicated int64
 	delayed    int64
@@ -199,6 +224,9 @@ func (e *Endpoint) SendSized(a Agent, dst *Endpoint, payload any, words int) sim
 	// in T_S-round).
 	p := a.Proc()
 	m := Message{From: e, Payload: payload, Words: words, SentAt: p.Now()}
+	if pr := e.net.probe; pr != nil {
+		m.hb = pr.MsgSend(e, dst, p)
+	}
 	wire := delay + sim.Time(extra)
 	arrive := m.SentAt + wire
 
@@ -330,6 +358,9 @@ func (e *Endpoint) take(a Agent, p *sim.Proc, t0 sim.Time) Message {
 	e.net.occupancy += g + extra
 	a.Profile().Charge(obs.CatMsgWait, p.Now()-t0)
 	a.ChargeCost(obs.CatMsgWait, g+extra)
+	if pr := e.net.probe; pr != nil && m.hb != 0 {
+		pr.MsgRecv(e, p, m.hb)
+	}
 	return m
 }
 

@@ -1,0 +1,126 @@
+package racedet
+
+import (
+	"testing"
+
+	"repro/internal/apps/apsp"
+	"repro/internal/apps/jacobi"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// The detector must be a pure observer: attaching it may change
+// nothing about the simulation — not one tick of virtual time, not one
+// component of an iterate. These fuzz tests pin that equivalence on
+// the paper's two worked examples (E3 Jacobi, E7 APSP) across randomly
+// drawn problem sizes and seeds. `go test` runs the seed corpus; `go
+// test -fuzz` explores further.
+
+// FuzzJacobiDetectorEquivalence runs the same Jacobi problem with and
+// without a detector and requires identical iterates, iteration counts
+// and final virtual time.
+func FuzzJacobiDetectorEquivalence(f *testing.F) {
+	f.Add(uint8(4), int64(1), uint8(3))
+	f.Add(uint8(7), int64(42), uint8(0))
+	f.Add(uint8(12), int64(7), uint8(2))
+	f.Fuzz(func(t *testing.T, n uint8, seed int64, iters uint8) {
+		size := 2 + int(n)%11   // 2..12 processes
+		fixed := int(iters) % 5 // 0 = run to convergence
+		cfg := jacobi.Config{
+			System: workload.NewLinearSystem(size, seed),
+			Iters:  fixed,
+			Tol:    1e-6,
+		}
+
+		run := func(detect bool) (jacobi.Result, int64, *Detector) {
+			sys := core.NewSystem(machine.Generic())
+			var d *Detector
+			if detect {
+				d = Attach(sys)
+			}
+			res, err := jacobi.Run(sys, cfg)
+			if err != nil {
+				t.Fatalf("jacobi(detect=%v): %v", detect, err)
+			}
+			return res, int64(sys.K.Now()), d
+		}
+
+		base, baseT, _ := run(false)
+		got, gotT, d := run(true)
+
+		if gotT != baseT {
+			t.Fatalf("virtual time diverged: %d with detector, %d without", gotT, baseT)
+		}
+		if got.Iters != base.Iters {
+			t.Fatalf("iteration count diverged: %d with detector, %d without", got.Iters, base.Iters)
+		}
+		for i := range base.X {
+			if got.X[i] != base.X[i] {
+				t.Fatalf("iterate diverged at %d: %v with detector, %v without", i, got.X[i], base.X[i])
+			}
+		}
+		// Jacobi is message-passing with synch_comm rounds: fully
+		// ordered, so the detector must also find it clean.
+		if r := d.Report(); r != nil {
+			t.Fatalf("jacobi reported a race:\n%s", r)
+		}
+	})
+}
+
+// FuzzApspDetectorEquivalence does the same for APSP in both modes.
+// The async mode is deliberately racy (its regions declare AllowRaces),
+// which must not disturb equivalence either.
+func FuzzApspDetectorEquivalence(f *testing.F) {
+	f.Add(uint8(4), int64(13), false)
+	f.Add(uint8(6), int64(99), true)
+	f.Add(uint8(8), int64(5), false)
+	f.Fuzz(func(t *testing.T, v uint8, seed int64, bulk bool) {
+		size := 2 + int(v)%7 // 2..8 vertices/processes
+		mode := apsp.Async
+		if bulk {
+			mode = apsp.BulkSync
+		}
+		cfg := apsp.Config{
+			Graph: workload.NewRandomGraph(size, 0.3, 20, seed),
+			Mode:  mode,
+		}
+
+		run := func(detect bool) (apsp.Result, int64, *Detector) {
+			sys := core.NewSystem(machine.Generic())
+			var d *Detector
+			if detect {
+				d = Attach(sys)
+			}
+			res, err := apsp.Run(sys, cfg)
+			if err != nil {
+				t.Fatalf("apsp(detect=%v): %v", detect, err)
+			}
+			return res, int64(sys.K.Now()), d
+		}
+
+		base, baseT, _ := run(false)
+		got, gotT, d := run(true)
+
+		if gotT != baseT {
+			t.Fatalf("virtual time diverged: %d with detector, %d without", gotT, baseT)
+		}
+		if got.Epochs != base.Epochs {
+			t.Fatalf("epochs diverged: %d with detector, %d without", got.Epochs, base.Epochs)
+		}
+		if !apsp.Equal(got.Dist, base.Dist) {
+			t.Fatalf("distance matrices diverged between detector-on and detector-off runs")
+		}
+		for i := range base.RoundsPerProc {
+			if got.RoundsPerProc[i] != base.RoundsPerProc[i] {
+				t.Fatalf("rounds diverged for proc %d: %d with detector, %d without",
+					i, got.RoundsPerProc[i], base.RoundsPerProc[i])
+			}
+		}
+		// Both regions declare their races benign, so the run is clean
+		// from the detector's point of view.
+		if r := d.Report(); r != nil {
+			t.Fatalf("apsp reported a race despite AllowRaces:\n%s", r)
+		}
+	})
+}

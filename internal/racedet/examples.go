@@ -1,0 +1,68 @@
+package racedet
+
+import (
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// The two seed examples the detector's goldens pin (see
+// testdata/racy.golden and testdata/fixed.golden): the smallest
+// async_exec program that races, and its barrier-fixed twin. Both are
+// real STAMP programs — S-units, S-rounds, charged accesses — so the
+// pinned reports exercise the full coordinate/span plumbing.
+
+// exampleAttrs is the attribute set of both examples: async_exec with
+// async_comm, so nothing orders the two processes unless the program
+// says so.
+var exampleAttrs = core.Attrs{Dist: core.IntraProc, Exec: core.AsyncExec, Comm: core.AsyncComm}
+
+// RacyExample spawns the deliberately racy program on sys: process 0
+// writes a shared word inside its S-round while process 1 reads the
+// same word inside its own, with no ordering edge between them. The
+// detector must report exactly one race, with stable coordinates, on
+// every run. Returns the group and the contested region.
+func RacyExample(sys *core.System) (*core.Group, *memory.Region[int64]) {
+	x := memory.NewRegion[int64](sys.Mem, "racy/x", memory.Inter, 0, 1)
+	g := sys.NewGroup("racy", exampleAttrs, 2, func(ctx *core.Ctx) {
+		ctx.SUnit(func() {
+			ctx.SRound(func() {
+				if ctx.Index() == 0 {
+					ctx.IntOps(4)
+					x.Write(ctx, 0, 42)
+				} else {
+					ctx.IntOps(2)
+					_ = x.Read(ctx, 0)
+				}
+			})
+		})
+	})
+	return g, x
+}
+
+// FixedExample is RacyExample's barrier-fixed twin: the writer's round
+// completes before an explicit group barrier, and the reader only
+// starts its round after that barrier, so the write happens before the
+// read and the detector must report a clean run.
+func FixedExample(sys *core.System) (*core.Group, *memory.Region[int64]) {
+	x := memory.NewRegion[int64](sys.Mem, "fixed/x", memory.Inter, 0, 1)
+	g := sys.NewGroup("fixed", exampleAttrs, 2, func(ctx *core.Ctx) {
+		if ctx.Index() == 0 {
+			ctx.SUnit(func() {
+				ctx.SRound(func() {
+					ctx.IntOps(4)
+					x.Write(ctx, 0, 42)
+				})
+			})
+			ctx.Barrier()
+		} else {
+			ctx.Barrier()
+			ctx.SUnit(func() {
+				ctx.SRound(func() {
+					ctx.IntOps(2)
+					_ = x.Read(ctx, 0)
+				})
+			})
+		}
+	})
+	return g, x
+}

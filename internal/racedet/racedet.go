@@ -1,0 +1,373 @@
+// Package racedet implements a vector-clock happens-before race
+// detector over virtual time, in the style of FastTrack (Flanagan &
+// Freund, PLDI 2009) adapted to the STAMP model's synchronization
+// vocabulary. Each sim.Proc carries a vector clock; the probe hooks of
+// the kernel and the three substrates advance and join clocks along
+// every model-level ordering edge:
+//
+//   - proc spawn (parent → child) and exit → join;
+//   - wait-queue hand-offs (Signal/Broadcast, and through them
+//     semaphores, mutexes and blocked receives);
+//   - barrier generations (every arrival orders before every release);
+//   - message send → receive (the edge rides inside the message, so it
+//     survives delivery delay, duplication and reordering);
+//   - STM commit order (DSTM commits are globally serialized).
+//
+// Two charged accesses to the same shared-memory word conflict when at
+// least one writes and neither happens before the other; the first
+// such pair found raises a Report and freezes the detector, so the
+// report of a given program is deterministic and reproducible — the
+// kernel's dispatch order is bit-for-bit stable, and the detector adds
+// no virtual time of its own (it only observes), so enabling it never
+// perturbs the simulation it checks.
+package racedet
+
+import (
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/msgpass"
+	"repro/internal/sim"
+	"repro/internal/stm"
+)
+
+// vclock is a vector clock indexed by kernel proc ID. Clocks are grown
+// lazily; a missing component is zero.
+type vclock []uint64
+
+func (c vclock) get(i int) uint64 {
+	if i >= len(c) {
+		return 0
+	}
+	return c[i]
+}
+
+func (c *vclock) grow(n int) {
+	for len(*c) < n {
+		*c = append(*c, 0)
+	}
+}
+
+// join folds o into c componentwise (c := c ⊔ o).
+func (c *vclock) join(o vclock) {
+	c.grow(len(o))
+	for i, v := range o {
+		if v > (*c)[i] {
+			(*c)[i] = v
+		}
+	}
+}
+
+func (c *vclock) set(i int, v uint64) {
+	c.grow(i + 1)
+	(*c)[i] = v
+}
+
+func clone(c vclock) vclock {
+	out := make(vclock, len(c))
+	copy(out, c)
+	return out
+}
+
+// locKey identifies one shared word: the region's allocation index
+// within its Memory plus the word index.
+type locKey struct {
+	region int
+	index  int
+}
+
+// accessRec is the detector's memory of one access to a word: who, at
+// what epoch of their clock, and the rendered report details.
+type accessRec struct {
+	pid   int
+	epoch uint64
+	at    Access
+}
+
+// locState is the per-word race-check state: the last write and the
+// current read frontier (at most one read per process — a same-process
+// re-read replaces its entry; a write clears the frontier).
+type locState struct {
+	w     accessRec
+	reads []accessRec
+}
+
+// Detector is a virtual-time happens-before race detector. Create with
+// New (or Attach, which also wires it to a System's kernel and
+// substrates). The nil detector is a valid no-op: every hook returns
+// immediately, so code may hold a *Detector unconditionally.
+//
+// The detector is strictly an observer — it never holds, blocks, or
+// otherwise advances virtual time — so a run with a detector attached
+// is bit-identical (times, iterates, goldens) to the same run without.
+type Detector struct {
+	clocks []vclock // per proc ID; nil until the proc is seen
+	finals []vclock // exit-time snapshots, for late Joins
+
+	barriers map[*sim.Barrier]*vclock
+	atomics  map[locKey]*vclock
+	stm      vclock
+	msgs     []vclock // send-time snapshots; token = index+1
+
+	locs   map[locKey]*locState
+	report *Report
+
+	// OnRace, when non-nil, is called once with the first race found
+	// (from simulation context — it must not block or advance time).
+	OnRace func(*Report)
+}
+
+// New returns a detached detector; wire it with the SetProbe hooks or
+// use Attach.
+func New() *Detector {
+	return &Detector{
+		barriers: make(map[*sim.Barrier]*vclock),
+		atomics:  make(map[locKey]*vclock),
+		locs:     make(map[locKey]*locState),
+	}
+}
+
+// Attach creates a detector and installs it as the probe of sys's
+// kernel, shared memory, network and STM. Call before sys.Run.
+func Attach(sys *core.System) *Detector {
+	d := New()
+	sys.K.SetProbe(d)
+	sys.Mem.SetProbe(d)
+	sys.Net.SetProbe(d)
+	sys.TM.SetProbe(d)
+	return d
+}
+
+// Report returns the first race found, or nil for a clean run so far.
+func (d *Detector) Report() *Report {
+	if d == nil {
+		return nil
+	}
+	return d.report
+}
+
+// done reports whether the detector should ignore further events: it
+// is nil, or it already holds its (first, frozen) race report.
+func (d *Detector) done() bool { return d == nil || d.report != nil }
+
+// clock returns p's vector clock, creating it with its own component
+// at 1 on first sight (so epoch 0 means "never accessed").
+func (d *Detector) clock(p *sim.Proc) *vclock {
+	id := p.ID()
+	for len(d.clocks) <= id {
+		d.clocks = append(d.clocks, nil)
+	}
+	if d.clocks[id] == nil {
+		c := make(vclock, id+1)
+		c[id] = 1
+		d.clocks[id] = c
+	}
+	return &d.clocks[id]
+}
+
+// bump advances p's own component — the release half of an edge: later
+// accesses by p are no longer covered by clocks that only saw the
+// pre-release value.
+func (d *Detector) bump(p *sim.Proc) {
+	c := d.clock(p)
+	(*c)[p.ID()]++
+}
+
+// --- sim.Probe --------------------------------------------------------
+
+// ProcStart orders everything the parent did so far before everything
+// the child will do.
+func (d *Detector) ProcStart(parent, child *sim.Proc) {
+	if d.done() {
+		return
+	}
+	cc := d.clock(child)
+	if parent != nil {
+		cc.join(*d.clock(parent))
+		d.bump(parent)
+	}
+}
+
+// ProcExit snapshots p's final clock for processes that Join after p
+// has already retired. (A Join that blocked instead is ordered by the
+// wait-queue Signal the exiting process fires.)
+func (d *Detector) ProcExit(p *sim.Proc) {
+	if d.done() {
+		return
+	}
+	id := p.ID()
+	for len(d.finals) <= id {
+		d.finals = append(d.finals, nil)
+	}
+	d.finals[id] = clone(*d.clock(p))
+}
+
+// ProcJoin orders everything done did before everything p does next.
+func (d *Detector) ProcJoin(p, done *sim.Proc) {
+	if d.done() {
+		return
+	}
+	if id := done.ID(); id < len(d.finals) && d.finals[id] != nil {
+		d.clock(p).join(d.finals[id])
+	}
+}
+
+// Signal orders everything the waker did before everything the woken
+// process does next.
+func (d *Detector) Signal(waker, woken *sim.Proc) {
+	if d.done() {
+		return
+	}
+	d.clock(woken).join(*d.clock(waker))
+	d.bump(waker)
+}
+
+// BarrierAwait folds each arrival into the barrier's clock; the last
+// arriver acquires the whole generation before its release broadcast
+// (whose Signal edges then carry it to every waiter), so all accesses
+// before the barrier order before all accesses after it.
+func (d *Detector) BarrierAwait(b *sim.Barrier, p *sim.Proc, last bool) {
+	if d.done() {
+		return
+	}
+	bc := d.barriers[b]
+	if bc == nil {
+		bc = new(vclock)
+		d.barriers[b] = bc
+	}
+	bc.join(*d.clock(p))
+	d.bump(p)
+	if last {
+		d.clock(p).join(*bc)
+	}
+}
+
+// --- msgpass.Probe ----------------------------------------------------
+
+// MsgSend snapshots the sender's clock into a token the message
+// carries.
+func (d *Detector) MsgSend(src, dst *msgpass.Endpoint, p *sim.Proc) uint64 {
+	if d.done() {
+		return 0
+	}
+	d.msgs = append(d.msgs, clone(*d.clock(p)))
+	d.bump(p)
+	return uint64(len(d.msgs))
+}
+
+// MsgRecv redeems a send token: everything the sender did before the
+// send orders before everything the receiver does next.
+func (d *Detector) MsgRecv(dst *msgpass.Endpoint, p *sim.Proc, token uint64) {
+	if d.done() {
+		return
+	}
+	if token >= 1 && token <= uint64(len(d.msgs)) {
+		d.clock(p).join(d.msgs[token-1])
+	}
+}
+
+// --- stm.Probe --------------------------------------------------------
+
+// TxCommit orders committed transactions totally: each commit acquires
+// the order of every earlier commit and releases its own.
+func (d *Detector) TxCommit(p *sim.Proc) {
+	if d.done() {
+		return
+	}
+	c := d.clock(p)
+	c.join(d.stm)
+	d.stm.join(*c)
+	d.bump(p)
+}
+
+// --- memory.Probe -----------------------------------------------------
+
+// Access race-checks one charged shared-memory access and updates the
+// word's read/write state. The first conflicting pair freezes the
+// detector with its Report.
+func (d *Detector) Access(region string, regionID, i int, p *sim.Proc, kind memory.AccessKind) {
+	if d.done() {
+		return
+	}
+	key := locKey{region: regionID, index: i}
+	st := d.locs[key]
+	if st == nil {
+		st = &locState{}
+		d.locs[key] = st
+	}
+	c := d.clock(p)
+	rec := accessRec{pid: p.ID(), at: describe(p, kind)}
+
+	if kind == memory.AccessAtomic {
+		// Atomics to one word serialize (FetchAdd occupies a service
+		// slot), so each acquires the per-word atomic order first...
+		ac := d.atomics[key]
+		if ac == nil {
+			ac = new(vclock)
+			d.atomics[key] = ac
+		}
+		c.join(*ac)
+	}
+	rec.epoch = c.get(rec.pid)
+
+	// Write-read / write-write check against the last write.
+	if st.w.epoch != 0 && st.w.pid != rec.pid && c.get(st.w.pid) < st.w.epoch {
+		d.raise(region, i, st.w.at, rec.at)
+		return
+	}
+	switch kind {
+	case memory.AccessRead:
+		// Keep one frontier entry per process.
+		for j := range st.reads {
+			if st.reads[j].pid == rec.pid {
+				st.reads[j] = rec
+				return
+			}
+		}
+		st.reads = append(st.reads, rec)
+	case memory.AccessWrite, memory.AccessAtomic:
+		for _, r := range st.reads {
+			if r.pid != rec.pid && c.get(r.pid) < r.epoch {
+				d.raise(region, i, r.at, rec.at)
+				return
+			}
+		}
+		st.w = rec
+		st.reads = st.reads[:0]
+		if kind == memory.AccessAtomic {
+			// ... and releases into it, so a later atomic on the same
+			// word is ordered after this one while a plain access is
+			// not.
+			d.atomics[key].join(*c)
+			d.bump(p)
+		}
+	}
+}
+
+// raise records the first race and freezes the detector.
+func (d *Detector) raise(region string, index int, prior, racing Access) {
+	d.report = &Report{Region: region, Index: index, Prior: prior, Racing: racing}
+	if d.OnRace != nil {
+		d.OnRace(d.report)
+	}
+}
+
+// describe captures the who/when/where of an access for reporting:
+// proc identity, virtual time, and — when the proc is a STAMP process
+// — its S-unit/S-round coordinates and innermost open trace span.
+func describe(p *sim.Proc, kind memory.AccessKind) Access {
+	a := Access{Proc: p.Name(), PID: p.ID(), At: p.Now(), Kind: kind}
+	if c, ok := p.Ctx.(*core.Ctx); ok {
+		a.Unit, a.Round, a.InUnit, a.InRound = c.Coordinates()
+		a.Span = c.CurrentSpan()
+		a.Stamp = true
+	}
+	return a
+}
+
+// Interface conformance (compile-time).
+var (
+	_ sim.Probe     = (*Detector)(nil)
+	_ memory.Probe  = (*Detector)(nil)
+	_ msgpass.Probe = (*Detector)(nil)
+	_ stm.Probe     = (*Detector)(nil)
+)

@@ -1,0 +1,79 @@
+package racedet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memory"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Access locates one side of a race: the process, its virtual time,
+// the access kind, and — for STAMP processes — the S-unit/S-round
+// coordinates and the innermost open trace span at the access.
+type Access struct {
+	Proc string
+	PID  int
+	At   sim.Time
+	Kind memory.AccessKind
+
+	// Stamp is true when the process is a STAMP group member and the
+	// model coordinates below are meaningful.
+	Stamp           bool
+	Unit, Round     int
+	InUnit, InRound bool
+	// Span is the innermost open structural span at the access (0 when
+	// span tracing was off).
+	Span obs.SpanID
+}
+
+// String renders one access line.
+func (a Access) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s by %s (proc %d) at t=%d", a.Kind, a.Proc, a.PID, a.At)
+	if a.Stamp {
+		fmt.Fprintf(&b, ", S-unit %d%s, S-round %d%s", a.Unit, openMark(a.InUnit), a.Round, openMark(a.InRound))
+		if a.Span != 0 {
+			fmt.Fprintf(&b, ", span %d", a.Span)
+		} else {
+			b.WriteString(", span -")
+		}
+	}
+	return b.String()
+}
+
+func openMark(open bool) string {
+	if open {
+		return ""
+	}
+	return " (closed)"
+}
+
+// Report is the detector's verdict on the first race found: two
+// charged accesses to the same shared word, at least one a write,
+// unordered by any happens-before edge.
+type Report struct {
+	Region string // region name at allocation
+	Index  int    // word index within the region
+	Prior  Access // the earlier access in dispatch order
+	Racing Access // the access that completed the race
+}
+
+// String renders the canonical multi-line report. Every field is a
+// deterministic function of the simulated program, so the same program
+// always yields the same text.
+func (r *Report) String() string {
+	return fmt.Sprintf("racedet: model-level race on %s[%d]\n  prior:  %s\n  racing: %s\n",
+		r.Region, r.Index, r.Prior, r.Racing)
+}
+
+// Text returns the detector's result in canonical textual form: the
+// race report, or the clean-run line. This is what the CLIs print and
+// what the example goldens pin.
+func (d *Detector) Text() string {
+	if d == nil || d.report == nil {
+		return "racedet: no model-level races detected\n"
+	}
+	return d.report.String()
+}

@@ -63,6 +63,17 @@ type Kernel struct {
 	nextID  int
 	running bool
 
+	// cur is the process whose goroutine currently holds the baton, or
+	// nil in kernel context (Run's seed dispatch, evCall callbacks,
+	// teardown). It exists so probe hooks can attribute wait-queue
+	// signals and spawns to the process that issued them.
+	cur *Proc
+
+	// probe, when non-nil, observes synchronization structure (see
+	// Probe). Every hook site is gated on a nil check so the disabled
+	// case costs nothing.
+	probe Probe
+
 	// Error-path teardown state (see finish). stopped marks the kernel
 	// permanently dead after an error-terminated Run; poisoned is set
 	// while (and after) parked processes are being unwound; unwound is
@@ -145,6 +156,9 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.nextID++
 	k.procs = append(k.procs, p)
 	k.live++
+	if k.probe != nil {
+		k.probe.ProcStart(k.cur, p)
+	}
 	k.push(k.now, evStart, p, nil)
 	return p
 }
@@ -221,6 +235,7 @@ func (k *Kernel) Run() error {
 
 	k.err = nil
 	k.doneSender = nil
+	k.cur = nil
 	k.dispatch(nil)
 	<-k.done
 	return k.err
@@ -278,6 +293,7 @@ func (k *Kernel) dispatch(self *Proc) batonState {
 			// bug that must crash, as an unrecovered panic did under
 			// the centralized loop) from a process-body panic (reported
 			// as ProcPanic); see Proc.run.
+			k.cur = nil
 			k.inCall = true
 			ev.fn()
 			k.inCall = false
@@ -285,13 +301,16 @@ func (k *Kernel) dispatch(self *Proc) batonState {
 			p := ev.proc
 			if p.killed {
 				// Killed before first activation: retire without ever
-				// creating a goroutine.
+				// creating a goroutine. The joiner wakes carry no
+				// process edge (kernel context), so clear cur.
+				k.cur = nil
 				p.state = stateDone
 				k.live--
 				p.joiners.broadcastLocked(k)
 				continue
 			}
 			p.state = stateRunning
+			k.cur = p
 			go p.run()
 			return batonPassed
 		case evWake:
@@ -303,6 +322,7 @@ func (k *Kernel) dispatch(self *Proc) batonState {
 				panic(fmt.Sprintf("sim: wake of process %q in state %v", p.name, p.state))
 			}
 			p.state = stateRunning
+			k.cur = p
 			if p == self {
 				return batonSelf
 			}

@@ -1,0 +1,38 @@
+package sim
+
+// Probe observes the kernel's synchronization structure: process
+// creation and retirement, wait-queue hand-offs and barrier trips. It
+// exists for tooling that reconstructs the happens-before order of a
+// run — the virtual-time race detector (internal/racedet) is the one
+// implementation — and is deliberately passive: a probe must not call
+// back into the kernel, block, or advance virtual time. With no probe
+// attached every hook site is a single nil check, keeping the zero-alloc
+// hot path intact (enforced by AllocsPerRun tests).
+type Probe interface {
+	// ProcStart fires when child is spawned. parent is the spawning
+	// process, or nil when the spawn came from kernel context (Run
+	// setup, a Schedule callback).
+	ProcStart(parent, child *Proc)
+	// ProcExit fires when p's body has returned (normally or by Kill
+	// unwind), before its joiners are woken.
+	ProcExit(p *Proc)
+	// ProcJoin fires when p calls Join on done after done has already
+	// retired. (A Join that blocks is ordered by the wait-queue Signal
+	// from the exiting process instead.)
+	ProcJoin(p, done *Proc)
+	// Signal fires once per process woken by a wait-queue Signal or
+	// Broadcast issued from process context: waker released woken.
+	// Wakes from kernel context (timer callbacks, teardown) carry no
+	// process edge and do not fire.
+	Signal(waker, woken *Proc)
+	// BarrierAwait fires when p arrives at b. For the last arriver
+	// (last=true) it fires after all other parties have arrived and
+	// before their release, so an implementation can fold the barrier
+	// generation's accumulated order into the releasing process.
+	BarrierAwait(b *Barrier, p *Proc, last bool)
+}
+
+// SetProbe attaches a synchronization probe to the kernel (nil
+// detaches). Attach before Run; the kernel never mutates probe state
+// concurrently because dispatch is strictly sequential.
+func (k *Kernel) SetProbe(pr Probe) { k.probe = pr }

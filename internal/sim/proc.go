@@ -143,7 +143,13 @@ func (p *Proc) run() {
 			return
 		}
 		// Normal return, or a Kill unwind: wake joiners and pass the
-		// baton on; this goroutine exits.
+		// baton on; this goroutine exits. The probe sees the exit
+		// before the joiner wakes so that both the signal edges fired
+		// by the broadcast (cur is still p here) and later
+		// already-done Joins observe p's final position.
+		if k.probe != nil {
+			k.probe.ProcExit(p)
+		}
 		p.joiners.broadcastLocked(k)
 		k.dispatch(nil)
 	}()
@@ -216,6 +222,9 @@ func (p *Proc) park() {
 // process returns immediately.
 func (p *Proc) Join(other *Proc) {
 	if other.state == stateDone {
+		if k := p.k; k.probe != nil {
+			k.probe.ProcJoin(p, other)
+		}
 		return
 	}
 	other.joiners.Wait(p)

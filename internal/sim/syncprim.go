@@ -29,8 +29,17 @@ func (b *Barrier) Await(p *Proc) bool {
 	if b.arrived == b.parties {
 		b.arrived = 0
 		b.gen++
+		// The last arriver's probe hook runs before the broadcast so
+		// that the release signals it emits already carry the whole
+		// generation's accumulated order.
+		if pr := b.k.probe; pr != nil {
+			pr.BarrierAwait(b, p, true)
+		}
 		b.q.Broadcast(b.k)
 		return true
+	}
+	if pr := b.k.probe; pr != nil {
+		pr.BarrierAwait(b, p, false)
 	}
 	b.q.Wait(p)
 	return false

@@ -30,6 +30,9 @@ func (q *WaitQueue) Signal(k *Kernel) bool {
 		if p.state == stateDone || p.killed {
 			continue
 		}
+		if k.probe != nil && k.cur != nil {
+			k.probe.Signal(k.cur, p)
+		}
 		k.push(k.now, evWake, p, nil)
 		return true
 	}
@@ -43,6 +46,9 @@ func (q *WaitQueue) Broadcast(k *Kernel) int {
 	for _, p := range q.waiters {
 		if p.state == stateDone || p.killed {
 			continue
+		}
+		if k.probe != nil && k.cur != nil {
+			k.probe.Signal(k.cur, p)
 		}
 		k.push(k.now, evWake, p, nil)
 		n++

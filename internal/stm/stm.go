@@ -51,7 +51,24 @@ type STM struct {
 	// commitWaiters holds processes blocked in a Retry; every commit
 	// broadcasts them awake.
 	commitWaiters sim.WaitQueue
+
+	probe Probe
 }
+
+// Probe observes committed transactions for happens-before tracking:
+// DSTM-style commits are globally ordered (validation plus eager write
+// ownership serialize them), so each commit both acquires and releases
+// the STM-wide order. The race detector (internal/racedet) is the one
+// implementation; it must be passive (no holds, no blocking).
+type Probe interface {
+	// TxCommit fires when p commits a top-level transaction, after the
+	// writes have been published.
+	TxCommit(p *sim.Proc)
+}
+
+// SetProbe attaches a commit probe (nil detaches). Attach before the
+// simulation runs.
+func (s *STM) SetProbe(pr Probe) { s.probe = pr }
 
 // New creates an STM over machine m with contention manager mgr
 // (Passive if nil).
@@ -180,7 +197,12 @@ type Tx struct {
 	attempt int
 
 	readSet map[tvar]uint64 // version observed at first read
-	owned   []tvar          // vars this tx acquired (in order)
+	// readOrder lists the read-set vars in first-read order: validate
+	// charges one access per entry and stops at the first conflict, so
+	// iterating the map directly would make the charge count — and with
+	// it virtual time — depend on Go's randomized map order.
+	readOrder []tvar
+	owned     []tvar // vars this tx acquired (in order)
 	// savedPending remembers an ancestor's buffered value that this
 	// (nested) tx overwrote, for restoration on child abort.
 	savedPending map[tvar]func()
@@ -321,6 +343,7 @@ func (tx *Tx) abortSelf() {
 // releaseAll rolls back every acquisition of this tx: restore ancestor
 // buffers it overwrote and free vars it acquired.
 func (tx *Tx) releaseAll() {
+	//stamplint:allow maprange: each restore closure touches only its own tvar, so order is immaterial
 	for v, restore := range tx.savedPending {
 		_ = v
 		restore()
@@ -352,6 +375,7 @@ func (v *TVar[T]) Get(tx *Tx) T {
 	}
 	if _, seen := tx.readSet[v]; !seen {
 		tx.readSet[v] = v.version
+		tx.readOrder = append(tx.readOrder, v)
 	}
 	return v.val
 }
@@ -390,6 +414,7 @@ func (v *TVar[T]) Set(tx *Tx, x T) {
 	// read (if any) and this acquisition.
 	if _, seen := tx.readSet[v]; !seen {
 		tx.readSet[v] = v.version
+		tx.readOrder = append(tx.readOrder, v)
 	}
 	v.owner = tx
 	v.pending = x
@@ -402,9 +427,13 @@ func (v *TVar[T]) Modify(tx *Tx, f func(T) T) {
 }
 
 // validate charges one access per read-set entry and checks that no
-// observed version moved. Returns false on conflict.
+// observed version moved. Returns false on conflict. Iteration follows
+// first-read order (readOrder), not map order: the early return on
+// conflict means the number of accesses charged depends on where the
+// moved version sits in the iteration, and that must be deterministic.
 func (tx *Tx) validate() bool {
-	for v, ver := range tx.readSet {
+	for _, v := range tx.readOrder {
+		ver := tx.readSet[v]
 		tx.chargeAccess(false)
 		if v.ver() != ver {
 			if tx.s.Trace != nil {
@@ -471,9 +500,12 @@ func (tx *Tx) commitNested() bool {
 		return false
 	}
 	p := tx.parent
-	for v, ver := range tx.readSet {
+	// Merge in the child's first-read order so the parent's eventual
+	// validate iterates deterministically.
+	for _, v := range tx.readOrder {
 		if _, seen := p.readSet[v]; !seen {
-			p.readSet[v] = ver
+			p.readSet[v] = tx.readSet[v]
+			p.readOrder = append(p.readOrder, v)
 		}
 	}
 	for _, v := range tx.owned {
@@ -551,6 +583,9 @@ func (s *STM) Atomically(a Agent, body func(tx *Tx) error) (Outcome, error) {
 		}
 		s.commits++
 		a.Counters().TxCommits++
+		if s.probe != nil {
+			s.probe.TxCommit(a.Proc())
+		}
 		s.wakeCommitWaiters()
 		out.Committed = true
 		return out, nil
