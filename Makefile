@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-smoke check fmt vet lint race
+.PHONY: all build test bench bench-smoke check fmt vet lint race ckpt-fuzz
 
 all: build
 
@@ -31,16 +31,26 @@ vet:
 	$(GO) vet ./...
 
 # go vet plus the repo's own STAMP-aware analyzers (cmd/stamplint):
-# determinism, map-iteration order, uncharged backdoors, S-round misuse.
+# determinism, map-iteration order, uncharged backdoors, S-round misuse,
+# checkpoint-unsafe region element types.
 lint: vet
 	$(GO) run ./cmd/stamplint ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/... ./internal/racedet/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/... ./internal/racedet/... ./internal/ckpt/...
+
+# Kill/restore equivalence fuzz: crash a checkpointed run at many event
+# budgets, restore, and require the final virtual time, energy and
+# iterates to match a clean run bit-for-bit (1, 2 and 4 host workers,
+# fast and slow kernel paths). On failure the test drops the offending
+# checkpoint blobs plus a diff into $CKPT_FAIL_DIR if it is set.
+ckpt-fuzz:
+	$(GO) test -run 'TestKillRestoreEquivalence|TestDoubleCrashRestore' -count=1 ./internal/ckpt
 
 # The PR gate: everything must build, lint (go vet + stamplint) and be
-# gofmt-clean, the simulator, core, experiment harness, observability
-# and race-detector packages must pass under the Go race detector, and
+# gofmt-clean, the simulator, core, experiment harness, observability,
+# race-detector and checkpoint packages must pass under the Go race
+# detector, the checkpoint kill/restore fuzz must hold bit-for-bit, and
 # every benchmark must at least run.
-check: build lint fmt race bench-smoke
+check: build lint fmt race ckpt-fuzz bench-smoke
 	$(GO) test ./...

@@ -15,6 +15,12 @@
 //	stampsim -app jacobi -n 32 -trace-out /tmp/t.json   # Perfetto/chrome://tracing
 //	stampsim -app jacobi -n 32 -metrics-out /tmp/m.prom # Prometheus text (.json → JSON)
 //	stampsim -app jacobi -n 32 -profile                 # per-process time breakdown
+//
+// Checkpoint/restore (jacobi with -iters > 0):
+//
+//	stampsim -app jacobi -n 32 -iters 12 -ckpt-dir /tmp/ck -ckpt-every 2  # checkpoint
+//	stampsim -app jacobi -n 32 -iters 12 -ckpt-dir /tmp/ck -ckpt-every 2 -ckpt-restore
+//	                                     # restore the latest checkpoint and replay
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/apps/apsp"
 	"repro/internal/apps/bank"
 	"repro/internal/apps/jacobi"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/energy"
@@ -55,6 +62,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write run metrics to this file (.json → JSON, otherwise Prometheus text)")
 	doProfile := flag.Bool("profile", false, "print the per-process virtual-time breakdown and hotspots")
 	doRace := flag.Bool("race", false, "detect model-level data races (happens-before over virtual time); exit 1 if one is found")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint directory (jacobi with -iters > 0); enables checkpointing")
+	ckptEvery := flag.Int("ckpt-every", 2, "checkpoint every N iterations (with -ckpt-dir)")
+	ckptRestore := flag.Bool("ckpt-restore", false, "restore the latest checkpoint from -ckpt-dir and replay to completion")
 	flag.Parse()
 
 	var cfg machine.Config
@@ -113,10 +123,33 @@ func main() {
 	switch *app {
 	case "jacobi":
 		ls := workload.NewLinearSystem(*n, *seed)
-		res, err := jacobi.Run(sys, jacobi.Config{System: ls, Iters: *iters, Tol: 1e-9})
+		var ck *ckpt.Controller
+		if *ckptDir != "" {
+			if *iters == 0 {
+				fail("checkpointing requires a fixed iteration count (-iters > 0)")
+			}
+			var err error
+			if *ckptRestore {
+				ck, err = ckpt.Resume(*ckptDir, *ckptEvery)
+			} else {
+				ck, err = ckpt.New(*ckptDir, *ckptEvery)
+			}
+			exitIf(err)
+			defer ck.Close()
+			if ck.Resuming() {
+				fmt.Printf("restoring checkpoint generation %d from %s\n", ck.ResumedGeneration(), *ckptDir)
+			}
+		} else if *ckptRestore {
+			fail("-ckpt-restore requires -ckpt-dir")
+		}
+		res, err := jacobi.Run(sys, jacobi.Config{System: ls, Iters: *iters, Tol: 1e-9, Ckpt: ck})
 		exitIf(err)
 		fmt.Printf("jacobi %v: %d iterations, residual %.3g\n",
 			jacobi.DefaultAttrs, res.Iters, ls.Residual(res.X))
+		if ck != nil && len(ck.Written()) > 0 {
+			fmt.Printf("wrote %d checkpoint(s), latest generation %d, to %s\n",
+				len(ck.Written()), ck.LastGeneration(), *ckptDir)
+		}
 		model := jacobi.Model(sys, res.Group, *n)
 		mt, me := jacobi.MeasuredRound(res.Group, 1)
 		fmt.Printf("S-round: measured T=%d E=%.0f | predicted T=%.0f E=%.0f\n",

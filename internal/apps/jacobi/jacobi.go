@@ -7,9 +7,11 @@
 package jacobi
 
 import (
+	"encoding/gob"
 	"fmt"
 	"math"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/sim"
@@ -39,14 +41,44 @@ type Config struct {
 	// zero vector. Enables adaptive reallocation: run some iterations,
 	// re-place the processes, continue from where the iterate stood.
 	X0 []float64
+	// Ckpt, when non-nil, checkpoints the run at its configured
+	// interval of iterations (and, on a resuming controller, restores
+	// the latest checkpoint and replays from it). Requires a fixed
+	// iteration count (Iters > 0): the convergence test reads state the
+	// checkpoint does not carry. Nil disables checkpointing entirely —
+	// the run is byte-identical to one built without this field.
+	Ckpt *ckpt.Controller
 }
 
-// update carries one component's new value plus its per-iteration delta
-// (piggybacked so convergence is detected without extra messages).
-type update struct {
-	from  int
-	val   float64
-	delta float64
+// Update carries one component's new value plus its per-iteration delta
+// (piggybacked so convergence is detected without extra messages). It
+// is exported (with exported fields) because checkpointed inboxes and
+// in-flight messages carry it through gob.
+type Update struct {
+	From  int
+	Val   float64
+	Delta float64
+}
+
+// State is one member's checkpoint payload: the loop position and the
+// locally owned component of the iterate. The peers' view (xv) is NOT
+// saved — every S-round receives all n−1 peer components afresh, so on
+// resume it is rebuilt from the restored mailboxes and in-flight
+// messages before first use.
+type State struct {
+	It        int
+	Xi        float64
+	PrevDelta float64
+}
+
+// CkptWords is the checkpoint payload size charged per member: the
+// component value and its delta (the iteration index rides free, as
+// loop control rather than data). Exported so the recovery experiment
+// can compute the exact per-checkpoint overhead ℓ_e + CkptWords·g_sh_e.
+const CkptWords = 2
+
+func init() {
+	gob.Register(Update{})
 }
 
 // Result of a distributed run.
@@ -78,6 +110,10 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 	if cfg.Iters > 0 {
 		maxIters = cfg.Iters
 	}
+	ck := cfg.Ckpt
+	if ck != nil && cfg.Iters == 0 {
+		return Result{}, fmt.Errorf("jacobi: checkpointing requires a fixed iteration count (Iters > 0)")
+	}
 
 	x := make([]float64, n) // final per-component results
 	iters := make([]int, n) // per-process S-unit counts
@@ -102,20 +138,37 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 		// termination decision uniform (no process can stop while
 		// another still expects its broadcast).
 		prevOwnDelta := math.Inf(1)
-		// Seed round: announce x_i(0) so the first S-round has inputs.
-		ctx.BroadcastAll(update{from: i, val: xi, delta: math.Inf(1)})
-		ctx.Barrier()
+		it0 := 0
+		if ck != nil && ck.Resuming() {
+			// Re-enter the loop at the checkpointed position. The seed
+			// broadcast and barrier are skipped: they happened before
+			// the checkpoint, and their messages (where still relevant)
+			// live in the restored mailboxes.
+			var st State
+			if err := ck.DecodeMember(i, &st); err != nil {
+				panic(fmt.Sprintf("jacobi: restore member %d: %v", i, err))
+			}
+			it0, xi, prevOwnDelta = st.It, st.Xi, st.PrevDelta
+			iters[i] = st.It
+		} else {
+			// Seed round: announce x_i(0) so the first S-round has inputs.
+			ctx.BroadcastAll(Update{From: i, Val: xi, Delta: math.Inf(1)})
+			ctx.Barrier()
+		}
 
 		terminated := false
-		for t := 0; !terminated; t++ {
+		for t := it0; !terminated; t++ {
+			if ck != nil {
+				ck.Commit(ctx, t, CkptWords, State{It: t, Xi: xi, PrevDelta: prevOwnDelta})
+			}
 			ctx.SUnit(func() {
 				ctx.IntOps(1) // while-condition check (part of T_c)
 				ctx.SRound(func() {
 					// receive x(t) from all other processes
 					for _, m := range ctx.RecvN(n - 1) {
-						u := m.Payload.(update)
-						xv[u.from] = u.val
-						deltas[u.from] = u.delta
+						u := m.Payload.(Update)
+						xv[u.From] = u.Val
+						deltas[u.From] = u.Delta
 					}
 					// x_i(t+1) = -1/a_ii (Σ_{j≠i} a_ij x_j(t) − b_i):
 					// n−1 mults, n−2 adds, 1 sub, 1 mult = 2n−1 flops,
@@ -135,7 +188,7 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 					prevOwnDelta = d
 					// send x_i(t+1) to all other processes; the
 					// S-round ends with the implicit barrier.
-					ctx.BroadcastAll(update{from: i, val: xi, delta: d})
+					ctx.BroadcastAll(Update{From: i, Val: xi, Delta: d})
 				})
 				// Termination test + flag set (the rest of T_c).
 				ctx.IntOps(1)
@@ -158,11 +211,22 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 		x[i] = xi
 	}
 
-	var g *core.Group
+	var opts []core.GroupOption
 	if cfg.Placement != nil {
-		g = sys.NewGroupOpts("jacobi", attrs, n, body, core.WithPlacement(cfg.Placement))
-	} else {
-		g = sys.NewGroup("jacobi", attrs, n, body)
+		opts = append(opts, core.WithPlacement(cfg.Placement))
+	}
+	if ck != nil {
+		ck.Attach(sys, "jacobi")
+		if err := ck.RestoreSystem(sys); err != nil {
+			return Result{}, err
+		}
+		opts = append(opts, ck.GroupOptions()...)
+	}
+	g := sys.NewGroupOpts("jacobi", attrs, n, body, opts...)
+	if ck != nil {
+		if err := ck.RestoreGroup(g); err != nil {
+			return Result{}, err
+		}
 	}
 	if err := sys.Run(); err != nil {
 		return Result{}, err

@@ -1,0 +1,46 @@
+package ckpt
+
+import (
+	"testing"
+)
+
+// TestDisabledPathAllocatesNothing enforces the zero-cost contract of
+// disabled checkpointing: every skip path of Commit — nil controller,
+// non-checkpoint generation, pre-resume generation — performs zero
+// allocations. (Callers avoid the interface boxing of the state
+// argument by guarding the call with `if ck != nil`; here the state is
+// pre-boxed so only Commit's own behavior is measured.)
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	type payload struct{ A, B float64 }
+	state := any(payload{1, 2})
+
+	var nilCk *Controller
+	if n := testing.AllocsPerRun(200, func() {
+		nilCk.Commit(nil, 4, 2, state)
+	}); n != 0 {
+		t.Errorf("nil-controller Commit allocates %v per call, want 0", n)
+	}
+
+	ck, err := New(t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if n := testing.AllocsPerRun(200, func() {
+		ck.Commit(nil, 3, 2, state) // 3 % 5 != 0: not a checkpoint generation
+	}); n != 0 {
+		t.Errorf("off-generation Commit allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		ck.Commit(nil, 0, 2, state) // generation 0 is never checkpointed
+	}); n != 0 {
+		t.Errorf("generation-0 Commit allocates %v per call, want 0", n)
+	}
+
+	ck.resumed = &Snapshot{Generation: 10}
+	if n := testing.AllocsPerRun(200, func() {
+		ck.Commit(nil, 5, 2, state) // 5 <= resumed generation 10: replayed
+	}); n != 0 {
+		t.Errorf("pre-resume Commit allocates %v per call, want 0", n)
+	}
+}

@@ -1,0 +1,144 @@
+// Package ckpt implements barrier-consistent checkpoint/restore for
+// the STAMP simulator: cooperative snapshots of the full simulation
+// state taken at application commit points that coincide with barrier
+// generations, serialized to a versioned, checksummed container, plus
+// a small write-ahead log of post-checkpoint nondeterminism sources
+// (armed core failures) so restore + replay is bit-identical to an
+// uninterrupted run.
+//
+// The consistency point is the instant every group member has paid the
+// checkpoint charge after a barrier trip: at that instant no process
+// is inside an S-unit or S-round, no transaction is in flight, no
+// shared-memory access is mid-service, and the only pending events are
+// the members' own commit wakes plus in-flight message deliveries —
+// both of which the snapshot reconstructs exactly. See DESIGN.md
+// ("Checkpoint consistency point") for the full argument.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Container layout: 8-byte magic, u32 version, u64 payload length, the
+// gob-encoded Snapshot, then a CRC-32 (Castagnoli) of the payload. The
+// checksum is verified before any byte of the payload is decoded, so a
+// torn or bit-rotted file is rejected, never half-applied.
+const (
+	magic       = "STAMPCK1"
+	version     = 1
+	headerBytes = len(magic) + 4 + 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoCheckpoint reports that a directory holds no valid checkpoint.
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+
+// Encode serializes s into the container format.
+func Encode(s *Snapshot) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
+		return nil, fmt.Errorf("ckpt: encode: %w", err)
+	}
+	out := make([]byte, 0, headerBytes+payload.Len()+4)
+	out = append(out, magic...)
+	out = binary.BigEndian.AppendUint32(out, version)
+	out = binary.BigEndian.AppendUint64(out, uint64(payload.Len()))
+	out = append(out, payload.Bytes()...)
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload.Bytes(), crcTable))
+	return out, nil
+}
+
+// Decode parses and verifies a container, returning the snapshot.
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < headerBytes+4 {
+		return nil, fmt.Errorf("ckpt: container truncated (%d bytes)", len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic %q", b[:len(magic)])
+	}
+	if v := binary.BigEndian.Uint32(b[len(magic):]); v != version {
+		return nil, fmt.Errorf("ckpt: unsupported version %d (want %d)", v, version)
+	}
+	n := binary.BigEndian.Uint64(b[len(magic)+4:])
+	if uint64(len(b)) != uint64(headerBytes)+n+4 {
+		return nil, fmt.Errorf("ckpt: payload length %d does not match container size %d", n, len(b))
+	}
+	payload := b[headerBytes : headerBytes+int(n)]
+	want := binary.BigEndian.Uint32(b[headerBytes+int(n):])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ckpt: decode: %w", err)
+	}
+	return &s, nil
+}
+
+// fileName returns the checkpoint file name for one generation;
+// lexicographic order on names equals numeric order on generations.
+func fileName(app string, gen int) string {
+	return fmt.Sprintf("%s-g%06d.ckpt", app, gen)
+}
+
+// Save writes s into dir atomically (temp file + rename), returning
+// the final path. A crash mid-write leaves at worst a stray .tmp file,
+// never a half-written .ckpt that Latest could pick up.
+func Save(dir string, s *Snapshot) (string, error) {
+	b, err := Encode(s)
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, fileName(s.App, s.Generation))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return "", fmt.Errorf("ckpt: save: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("ckpt: save: %w", err)
+	}
+	return final, nil
+}
+
+// Load reads and verifies one checkpoint file.
+func Load(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: load: %w", err)
+	}
+	s, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
+// Latest returns the highest-generation VALID checkpoint in dir and
+// its path. Corrupt or truncated files are skipped (falling back to
+// the next-newest), so a checkpoint that was being written when the
+// process died never blocks recovery. ErrNoCheckpoint is returned when
+// nothing valid is found.
+func Latest(dir string) (*Snapshot, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		return nil, "", fmt.Errorf("ckpt: latest: %w", err)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			continue // corrupt: fall back to an older generation
+		}
+		return s, p, nil
+	}
+	return nil, "", ErrNoCheckpoint
+}

@@ -1,0 +1,117 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/msgpass"
+)
+
+func sampleSnapshot(gen int) *Snapshot {
+	return &Snapshot{
+		App:        "test",
+		Generation: gen,
+		BarrierGen: 7,
+		VTime:      1234,
+		Seq:        99,
+		Dispatched: 88,
+		GroupName:  "g",
+		N:          2,
+		StartOrder: []int{1, 0},
+		Members: []MemberState{
+			{Index: 0, Inbox: []msgpass.InboxMessage{{From: 1, Payload: 3.25, Words: 1, SentAt: 10, Arrived: 15}}},
+			{Index: 1, App: []byte{1, 2, 3}},
+		},
+		InFlight: []Flight{{Dst: 0, Msg: msgpass.InboxMessage{From: 1, Payload: int64(4), SentAt: 20}, Arrive: 25}},
+		Net:      msgpass.NetState{Delivered: 5, WireTicks: 50, Occupancy: 2.5},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleSnapshot(4)
+	b, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 4 || got.VTime != 1234 || got.Seq != 99 || got.BarrierGen != 7 {
+		t.Fatalf("kernel coordinates did not round-trip: %+v", got)
+	}
+	if len(got.StartOrder) != 2 || got.StartOrder[0] != 1 {
+		t.Fatalf("start order did not round-trip: %v", got.StartOrder)
+	}
+	if v, ok := got.Members[0].Inbox[0].Payload.(float64); !ok || v != 3.25 {
+		t.Fatalf("inbox payload did not round-trip: %#v", got.Members[0].Inbox[0].Payload)
+	}
+	if v, ok := got.InFlight[0].Msg.Payload.(int64); !ok || v != 4 {
+		t.Fatalf("in-flight payload did not round-trip: %#v", got.InFlight[0].Msg.Payload)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b, err := Encode(sampleSnapshot(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"bit flip in payload": func(b []byte) []byte { b[headerBytes+3] ^= 0x40; return b },
+		"bit flip in crc":     func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"truncated":           func(b []byte) []byte { return b[:len(b)-5] },
+		"bad magic":           func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":         func(b []byte) []byte { b[len(magic)+3] = 99; return b },
+		"empty":               func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range cases {
+		cp := append([]byte(nil), b...)
+		if _, err := Decode(corrupt(cp)); err == nil {
+			t.Errorf("%s: Decode accepted corrupt container", name)
+		}
+	}
+}
+
+func TestSaveLoadLatest(t *testing.T) {
+	dir := t.TempDir()
+	for _, gen := range []int{2, 4, 6} {
+		if _, err := Save(dir, sampleSnapshot(gen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, path, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation != 6 {
+		t.Fatalf("Latest picked generation %d, want 6", s.Generation)
+	}
+	if filepath.Base(path) != "test-g000006.ckpt" {
+		t.Fatalf("unexpected path %s", path)
+	}
+
+	// Corrupting the newest file must fall back to the next-newest.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err = Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation != 4 {
+		t.Fatalf("Latest after corruption picked generation %d, want 4", s.Generation)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	if _, _, err := Latest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}

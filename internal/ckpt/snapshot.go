@@ -1,0 +1,123 @@
+package ckpt
+
+import (
+	"encoding/gob"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/memory"
+	"repro/internal/msgpass"
+	"repro/internal/sim"
+	"repro/internal/stm"
+)
+
+// Snapshot is one barrier-consistent checkpoint of a whole simulation:
+// the kernel coordinates, every group member's charge/measurement
+// state and mailbox, the messages in flight between them, and the
+// global substrate state (network counters, shared-memory regions, STM
+// variables, fault-injector PRNG position).
+//
+// What is deliberately NOT captured: goroutine stacks (checkpointing
+// is cooperative — the application re-enters its loop at the recorded
+// generation), the kernel's pending event queue (reconstructed from
+// member activations plus InFlight), probe/tracer state (a property of
+// one process lifetime, not of the simulated computation), and pending
+// STM writes or mid-service memory accesses (none exist at the
+// consistency point, by construction).
+type Snapshot struct {
+	App string
+	// Generation is the application's commit generation (its iteration
+	// index at the consistency point).
+	Generation int
+	// BarrierGen is the group barrier's trip count.
+	BarrierGen int64
+	VTime      sim.Time
+	Seq        int64
+	Dispatched int64
+	GroupName  string
+	N          int
+	// StartOrder records the members' commit-contribution order — the
+	// kernel's wake order at the consistency instant. Restore spawns
+	// members in this order so the resumed schedule's FIFO tie-breaking
+	// matches the original run's.
+	StartOrder []int
+	// Members is rank-indexed.
+	Members  []MemberState
+	InFlight []Flight
+	Net      msgpass.NetState
+	Regions  []memory.RegionBlob
+	STM      *stm.State
+	Injector *fault.InjectorState
+}
+
+// MemberState is one group member's checkpointed state: the core-layer
+// charge/measurement snapshot, the arrived-but-unreceived mailbox
+// contents, and the application's own loop state (gob-encoded by the
+// app at commit, decoded by it at resume).
+type MemberState struct {
+	Index int
+	Ctx   core.CtxSnapshot
+	Inbox []msgpass.InboxMessage
+	App   []byte
+}
+
+// Flight is one message in flight at the consistency point: scheduled
+// for delivery but not yet arrived. Restore re-schedules it at its
+// original absolute arrival time; departure order is preserved so
+// same-instant arrivals keep their FIFO order.
+type Flight struct {
+	Dst    int
+	Msg    msgpass.InboxMessage
+	Arrive sim.Time
+}
+
+// flightRecorder implements msgpass.DeliveryRecorder: it tracks every
+// scheduled delivery from departure to landing, so the set of messages
+// in flight at any instant is exactly its active list (in departure
+// order).
+type flightRecorder struct {
+	nextTok uint64
+	active  []recordedFlight
+}
+
+type recordedFlight struct {
+	tok uint64
+	f   Flight
+}
+
+func (r *flightRecorder) Depart(dst *msgpass.Endpoint, m *msgpass.Message, arrive sim.Time) uint64 {
+	r.nextTok++
+	r.active = append(r.active, recordedFlight{tok: r.nextTok, f: Flight{
+		Dst: dst.Index(),
+		Msg: msgpass.InboxMessage{
+			From: m.From.Index(), Payload: m.Payload, Words: m.Words, SentAt: m.SentAt,
+		},
+		Arrive: arrive,
+	}})
+	return r.nextTok
+}
+
+func (r *flightRecorder) Land(token uint64) {
+	for i := range r.active {
+		if r.active[i].tok == token {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// init registers the common concrete types that ride inside the
+// snapshot's interface-typed fields (region values, TVar values,
+// message payloads). Applications register their own payload types in
+// their packages' init functions.
+func init() {
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register(string(""))
+	gob.Register(bool(false))
+	gob.Register([]int(nil))
+	gob.Register([]int64(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]sim.Time(nil))
+}

@@ -1,0 +1,105 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// walName is the write-ahead log file inside a checkpoint directory.
+const walName = "wal.log"
+
+// Record is one WAL entry. The WAL records the post-checkpoint
+// nondeterminism a snapshot cannot carry: core failures armed for the
+// run ("arm") and the subset that actually fired ("fired"). On
+// restore, the pending set — armed minus fired, as a multiset — is
+// re-armed, so a resumed run sees exactly the failures the original
+// run still had ahead of it.
+type Record struct {
+	Kind string // "arm" or "fired"
+	At   int64  // virtual time of the failure event
+	Core int
+}
+
+// WAL is an append-only log of Records, each framed as
+// u32 length | gob payload | u32 CRC-32C. Appends are flushed before
+// returning, so a record is durable before the event it describes has
+// any further consequences.
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+// openWAL opens dir's WAL, truncating unless keep is set (a resumed
+// run appends to the history the original run left behind).
+func openWAL(dir string, keep bool) (*WAL, error) {
+	path := filepath.Join(dir, walName)
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !keep {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: wal: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Append writes one record durably.
+func (w *WAL) Append(r Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(r); err != nil {
+		return fmt.Errorf("ckpt: wal append: %w", err)
+	}
+	frame := make([]byte, 0, 4+payload.Len()+4)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(payload.Len()))
+	frame = append(frame, payload.Bytes()...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(payload.Bytes(), crcTable))
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("ckpt: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ckpt: wal append: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// readRecords returns dir's WAL records in append order. A corrupt or
+// truncated tail — the expected state after a crash mid-append — ends
+// the scan silently: everything before it is returned, nothing after
+// it is trusted. A missing WAL yields no records.
+func readRecords(dir string) ([]Record, error) {
+	b, err := os.ReadFile(filepath.Join(dir, walName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: wal read: %w", err)
+	}
+	var out []Record
+	for len(b) >= 4 {
+		n := binary.BigEndian.Uint32(b)
+		if uint64(len(b)) < 4+uint64(n)+4 {
+			break // truncated tail
+		}
+		payload := b[4 : 4+n]
+		want := binary.BigEndian.Uint32(b[4+n:])
+		if crc32.Checksum(payload, crcTable) != want {
+			break // corrupt tail
+		}
+		var r Record
+		if gob.NewDecoder(bytes.NewReader(payload)).Decode(&r) != nil {
+			break
+		}
+		out = append(out, r)
+		b = b[4+n+4:]
+	}
+	return out, nil
+}

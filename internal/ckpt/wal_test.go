@@ -1,0 +1,108 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWALAppendRead(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: "arm", At: 100, Core: 2},
+		{Kind: "arm", At: 200, Core: 3},
+		{Kind: "fired", At: 100, Core: 2},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readRecords(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWALToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: "arm", At: 1, Core: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: "arm", At: 2, Core: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	path := filepath.Join(dir, walName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way through the second frame: a crash mid-append.
+	if err := os.WriteFile(path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readRecords(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].At != 1 {
+		t.Fatalf("records after truncation = %+v, want just the first", got)
+	}
+}
+
+func TestWALKeepVsTruncate(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(dir, false)
+	w.Append(Record{Kind: "arm", At: 5, Core: 0})
+	w.Close()
+
+	// keep=true (resume) preserves history and appends.
+	w, err := openWAL(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(Record{Kind: "fired", At: 5, Core: 0})
+	w.Close()
+	got, _ := readRecords(dir)
+	if len(got) != 2 {
+		t.Fatalf("kept WAL has %d records, want 2", len(got))
+	}
+
+	// keep=false (fresh run) truncates.
+	w, err = openWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, _ = readRecords(dir)
+	if len(got) != 0 {
+		t.Fatalf("truncated WAL has %d records, want 0", len(got))
+	}
+}
+
+func TestWALMissingFile(t *testing.T) {
+	got, err := readRecords(t.TempDir())
+	if err != nil || got != nil {
+		t.Fatalf("missing WAL: got %v, %v; want nil, nil", got, err)
+	}
+}

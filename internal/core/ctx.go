@@ -57,6 +57,11 @@ type Ctx struct {
 
 	start, end sim.Time
 
+	// restoreSnap, when non-nil, is a checkpointed member state to apply
+	// at process activation, before the body runs (set via
+	// Group.RestoreMember, consumed once).
+	restoreSnap *CtxSnapshot
+
 	// prof is the process's virtual-time profile (nil when profiling is
 	// off; the nil profile is a no-op, keeping charged ops alloc-free).
 	prof *obs.ProcProfile

@@ -25,7 +25,8 @@ type Group struct {
 type GroupOption func(*groupConfig)
 
 type groupConfig struct {
-	placement Placement
+	placement  Placement
+	startOrder []int
 }
 
 // WithPlacement overrides the default distribution-attribute placement
@@ -33,6 +34,17 @@ type groupConfig struct {
 // The power-aware allocator in internal/sched produces such placements.
 func WithPlacement(pl Placement) GroupOption {
 	return func(gc *groupConfig) { gc.placement = pl }
+}
+
+// WithStartOrder overrides the order in which member processes are
+// spawned (and therefore first activate) with a permutation of member
+// ranks. Contexts, mailboxes and profiles are still created in rank
+// order — only process start order changes. Checkpoint restore uses
+// this to reproduce the contribution order recorded at the snapshot,
+// so the resumed schedule's FIFO tie-breaking matches the original
+// run's.
+func WithStartOrder(order []int) GroupOption {
+	return func(gc *groupConfig) { gc.startOrder = order }
 }
 
 // NewGroup spawns n STAMP processes running body with the given
@@ -67,17 +79,48 @@ func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *
 		bar:       sim.NewBarrier(sys.K, n),
 		placement: pl,
 	}
+	order := gc.startOrder
+	if order != nil {
+		if len(order) != n {
+			panic(fmt.Sprintf("core: start order size %d != group size %d", len(order), n))
+		}
+		seen := make([]bool, n)
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				panic(fmt.Sprintf("core: start order %v is not a permutation of [0,%d)", order, n))
+			}
+			seen[i] = true
+		}
+	}
+
+	// Contexts, mailboxes, profiles and thread bindings are created in
+	// rank order regardless of start order, so member coordinates
+	// (endpoint indices, profile names) are identical however the group
+	// is later restored. Only the spawn loop below follows the start
+	// order: spawn order fixes the kernel's event-sequence assignment
+	// and with it the FIFO tie-breaking of same-instant activations.
 	g.ctxs = make([]*Ctx, n)
 	for i := 0; i < n; i++ {
-		i := i
 		pname := fmt.Sprintf("%s/%d", name, i)
 		ctx := &Ctx{sys: sys, g: g, idx: i, thread: pl[i]}
 		ctx.ep = sys.Net.NewEndpoint(pname, pl[i])
 		ctx.prof = sys.Obs.Profiler().Proc(pname)
 		sys.M.Bind(pl[i])
 		g.ctxs[i] = ctx
+	}
+	for j := 0; j < n; j++ {
+		i := j
+		if order != nil {
+			i = order[j]
+		}
+		ctx := g.ctxs[i]
+		pname := fmt.Sprintf("%s/%d", name, i)
 		ctx.p = sys.K.Spawn(pname, func(p *sim.Proc) {
 			ctx.start = p.Now()
+			if s := ctx.restoreSnap; s != nil {
+				ctx.restoreSnap = nil
+				ctx.applyRestore(s)
+			}
 			if tr := sys.Obs.Tracer(); tr.Enabled() {
 				ctx.procSpan = tr.Begin(ctx.start, pname, "proc", pname, 0)
 			}

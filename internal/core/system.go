@@ -68,11 +68,21 @@ var globalOpts []Option
 // simulation starts: the slice is read, unlocked, from every
 // NewSystem call, including ones on parallel experiment workers. The
 // returned function unregisters the option (for tests that must not
-// leak it into the rest of the binary).
+// leak it into the rest of the binary); it is idempotent, so calling
+// it more than once — e.g. from both a deferred cleanup and an explicit
+// teardown path — is a no-op after the first call and can never clear
+// a slot a later registration has reused.
 func AddGlobalOption(o Option) (remove func()) {
 	globalOpts = append(globalOpts, o)
 	i := len(globalOpts) - 1
-	return func() { globalOpts[i] = nil }
+	removed := false
+	return func() {
+		if removed {
+			return
+		}
+		removed = true
+		globalOpts[i] = nil
+	}
 }
 
 // NewSystem builds a System on a fresh kernel for machine configuration

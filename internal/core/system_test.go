@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestAddGlobalOptionRemoveIdempotent pins the contract on the remove
+// function AddGlobalOption returns: calling it more than once is a
+// no-op after the first call, so a deferred cleanup racing an explicit
+// teardown can never clear a slot that a later registration owns.
+func TestAddGlobalOptionRemoveIdempotent(t *testing.T) {
+	applied := map[string]int{}
+	mark := func(name string) Option {
+		return func(*System) { applied[name]++ }
+	}
+
+	removeA := AddGlobalOption(mark("a"))
+	removeA()
+	removeA() // second call must not disturb anything registered after A
+
+	removeB := AddGlobalOption(mark("b"))
+	defer removeB()
+	removeA() // and neither must a third, after B took effect
+
+	NewSystem(machine.SingleCore())
+	if applied["a"] != 0 {
+		t.Errorf("removed option applied %d times, want 0", applied["a"])
+	}
+	if applied["b"] != 1 {
+		t.Errorf("surviving option applied %d times, want 1", applied["b"])
+	}
+
+	removeB()
+	removeB()
+	NewSystem(machine.SingleCore())
+	if applied["b"] != 1 {
+		t.Errorf("option b applied %d times after removal, want still 1", applied["b"])
+	}
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/apps/jacobi"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("recovery", "checkpoint/restore: interval × failure-time sweep; recovered work vs checkpoint overhead; crash-recovery modes", runRecovery)
+}
+
+// runRecovery (E15) measures the checkpoint/restore subsystem against
+// the §3.1 time accounting, in three parts:
+//
+// (a) overhead — a checkpointed run must cost EXACTLY n_ckpts·c_ckpt
+// more virtual time than a plain run, where c_ckpt = ℓ_e + w·g_sh_e is
+// one inter-processor write of the w-word member payload, and must not
+// change the computed iterate by a single bit or cost any energy (the
+// charge parks; it does not execute operations).
+//
+// (b) interval × failure-time sweep — the run is killed at fixed
+// fractions of its event budget, restored from the latest on-disk
+// checkpoint, and replayed. The restored run must land on the clean
+// run's final virtual time, energy and iterate byte-for-byte. The total
+// virtual time spent is T_crash + (T_clean − T_snap): the §3.1 sum of
+// the lost partial run plus the replayed suffix, with T_snap the work
+// the checkpoint recovered. A crash before the first checkpoint has
+// nothing to restore and restarts from scratch (total T_crash +
+// T_clean).
+//
+// (c) crash-recovery modes — core-failure plans pick between the three
+// recovery modes: partial loss prefers warm-start re-placement (live
+// data is fresher than any checkpoint, E14's path), total loss restores
+// the checkpoint when one exists and restarts otherwise. A failure the
+// original run had armed but not yet suffered is replayed from the WAL
+// and strikes the restored run at the same virtual instant, forcing a
+// second recovery — the double-crash cell.
+func runRecovery() Result {
+	t := newTable()
+	var checks []Check
+
+	const (
+		nb    = 8
+		iters = 12
+		seed  = 909
+	)
+	cfg := machine.Niagara()
+	ls := workload.NewLinearSystem(nb, seed)
+	cc := cfg.Costs
+	perCkpt := sim.Time(float64(cc.EllE) + float64(jacobi.CkptWords)*cc.GShE)
+
+	type recRun struct {
+		T          sim.Time
+		E          float64
+		X          []float64
+		Dispatched int64
+		Err        error
+	}
+	runOne := func(ck *ckpt.Controller, maxEvents int64, arm func(*core.System, *ckpt.Controller) *fault.Plan) (recRun, *fault.Plan) {
+		sys := core.NewSystem(cfg)
+		sys.K.MaxEvents = maxEvents
+		var pl *fault.Plan
+		if arm != nil {
+			pl = arm(sys, ck)
+		}
+		res, err := jacobi.Run(sys, jacobi.Config{System: ls, Iters: iters, Ckpt: ck})
+		r := recRun{T: sys.K.Now(), Dispatched: sys.K.Dispatched(), Err: err}
+		if err == nil {
+			r.E = res.Report().E()
+			r.X = res.X
+		}
+		ck.Close()
+		return r, pl
+	}
+	bitsEqual := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	sameAs := func(clean, got recRun) bool {
+		return got.Err == nil && got.T == clean.T &&
+			math.Float64bits(got.E) == math.Float64bits(clean.E) && bitsEqual(got.X, clean.X)
+	}
+	tmpDir := func() string {
+		d, err := os.MkdirTemp("", "stamp-recovery-*")
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	newCtl := func(dir string, every int) *ckpt.Controller {
+		ck, err := ckpt.New(dir, every)
+		if err != nil {
+			panic(err)
+		}
+		return ck
+	}
+
+	// --- (a) checkpoint overhead against the §3.1 accounting ----------
+	plain, _ := runOne(nil, 0, nil)
+	if plain.Err != nil {
+		panic(plain.Err)
+	}
+	intervals := []int{2, 3, 6}
+	nCkpts := func(every int) sim.Time {
+		var n sim.Time
+		for g := 1; g < iters; g++ {
+			if g%every == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	clean := map[int]recRun{}
+	cleanDisp := map[int]int64{}
+	t.row("interval", "ckpts", "charge", "T", "T-Tplain", "x exact", "E exact")
+	t.row("plain", 0, 0, plain.T, 0, true, true)
+	overheadBounded, perturbFree := true, true
+	for _, every := range intervals {
+		dir := tmpDir()
+		defer os.RemoveAll(dir)
+		r, _ := runOne(newCtl(dir, every), 0, nil)
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		clean[every] = r
+		cleanDisp[every] = r.Dispatched
+		n := nCkpts(every)
+		xOK := bitsEqual(r.X, plain.X)
+		eOK := math.Float64bits(r.E) == math.Float64bits(plain.E)
+		// The charge parks every member for c_ckpt ticks after the barrier
+		// trip, but part of each park overlaps the wait the member would
+		// have spent blocked in RecvN for the slowest peer update anyway —
+		// so the observed overhead is bounded by n·c_ckpt, reaching it
+		// only when the plain schedule had no arrival slack to absorb.
+		overheadBounded = overheadBounded && r.T > plain.T && r.T <= plain.T+n*perCkpt
+		perturbFree = perturbFree && xOK && eOK
+		t.row(every, n, n*perCkpt, r.T, r.T-plain.T, xOK, eOK)
+		os.RemoveAll(dir)
+	}
+	checks = append(checks, check("0 < T(every) - T(plain) <= n_ckpts·(ℓ_e + w·g_sh_e)", overheadBounded,
+		"c_ckpt=%d; barrier arrival slack absorbs the rest", perCkpt))
+	checks = append(checks, check("checkpointing perturbs neither iterate nor energy", perturbFree, ""))
+
+	// --- (b) interval × failure-time sweep ----------------------------
+	t.row("")
+	t.row("interval", "kill@ev", "crashT", "mode", "snapgen", "snapT", "lostT", "finalT", "totalT", "exact")
+	fracs := []struct{ num, den int64 }{{3, 10}, {11, 20}, {4, 5}}
+	restoresExact, restartSeen, lossBounded, restoreWins := true, false, true, true
+	for _, every := range intervals {
+		for _, f := range fracs {
+			kill := cleanDisp[every] * f.num / f.den
+			dir := tmpDir()
+			defer os.RemoveAll(dir)
+			crashed, _ := runOne(newCtl(dir, every), kill, nil)
+			var lim *sim.ErrEventLimit
+			if !errors.As(crashed.Err, &lim) {
+				panic(fmt.Sprintf("recovery: kill at %d events did not crash: %v", kill, crashed.Err))
+			}
+			mode := fault.RecoverRestoreCkpt
+			snapGen, snapT := 0, sim.Time(0)
+			ck, err := ckpt.Resume(dir, every)
+			if errors.Is(err, ckpt.ErrNoCheckpoint) {
+				mode = fault.RecoverRestart
+				restartSeen = true
+				ck = newCtl(dir, every)
+			} else if err != nil {
+				panic(err)
+			} else {
+				snapGen = ck.ResumedGeneration()
+				snap, _, lerr := ckpt.Latest(dir)
+				if lerr != nil {
+					panic(lerr)
+				}
+				snapT = snap.VTime
+			}
+			restored, _ := runOne(ck, 0, nil)
+			exact := sameAs(clean[every], restored)
+			restoresExact = restoresExact && exact
+			lost := crashed.T - snapT
+			total := crashed.T + restored.T - snapT
+			sg := "-"
+			if mode == fault.RecoverRestoreCkpt {
+				sg = fmt.Sprint(snapGen)
+				// The §3.1 payoff: lost work is bounded by one checkpoint
+				// period (`every` iterations plus their charges), and the
+				// restore total always beats the restart total by the
+				// recovered prefix T_snap > 0.
+				lossBounded = lossBounded && lost <= sim.Time(every)*plain.T/sim.Time(iters)+sim.Time(every)*perCkpt
+				restoreWins = restoreWins && snapT > 0 && total < crashed.T+restored.T
+			}
+			t.row(every, kill, crashed.T, mode, sg, snapT, lost, restored.T, total, exact)
+			os.RemoveAll(dir)
+		}
+	}
+	checks = append(checks, check("every restored run reproduces the clean run byte-for-byte", restoresExact, ""))
+	checks = append(checks, check("a crash before the first checkpoint restarts from scratch", restartSeen, ""))
+	checks = append(checks, check("lost work is bounded by one checkpoint period", lossBounded, ""))
+	checks = append(checks, check("restore always beats restart by the recovered prefix", restoreWins, ""))
+
+	// --- (c) crash-recovery modes under core failures -----------------
+	t.row("")
+	t.row("scenario", "interval", "failAt", "killed", "mode", "replayed", "finalT", "exact")
+
+	allCores := func(at sim.Time) []fault.CoreFailure {
+		evs := make([]fault.CoreFailure, 0, cfg.NumCores())
+		for c := 0; c < cfg.NumCores(); c++ {
+			evs = append(evs, fault.CoreFailure{At: at, Core: c})
+		}
+		return evs
+	}
+	armVia := func(evs ...fault.CoreFailure) func(*core.System, *ckpt.Controller) *fault.Plan {
+		return func(sys *core.System, ck *ckpt.Controller) *fault.Plan {
+			pl, err := ck.ArmCoreFailures(sys, evs...)
+			if err != nil {
+				panic(err)
+			}
+			return pl
+		}
+	}
+	snapshotAvailable := func(dir string) bool {
+		_, _, err := ckpt.Latest(dir)
+		return err == nil
+	}
+
+	// Too-early total loss: every core fails before the first checkpoint
+	// generation could commit — nothing to restore, mode is restart.
+	{
+		every := 6
+		failAt := clean[every].T / 4
+		dir := tmpDir()
+		defer os.RemoveAll(dir)
+		crashed, pl := runOne(newCtl(dir, every), 0, armVia(allCores(failAt)...))
+		mode := pl.Recovery(nb, snapshotAvailable(dir))
+		// With every member dead the kernel drains to a clean finish; the
+		// plan alone carries the news. Restart = a fresh run from scratch.
+		restarted, _ := runOne(newCtl(dir, every), 0, nil)
+		exact := crashed.Err == nil && sameAs(clean[every], restarted)
+		t.row("too-early total loss", every, failAt, len(pl.Killed()), mode, 0, restarted.T, exact)
+		checks = append(checks, check("total loss before the first checkpoint restarts",
+			mode == fault.RecoverRestart && len(pl.Killed()) == nb && exact, ""))
+		os.RemoveAll(dir)
+	}
+
+	// Mid-run total loss: a checkpoint exists, mode is restore-ckpt, and
+	// the restored replay lands on the clean run exactly. The fired
+	// failures are WAL history, not pending: none replay.
+	{
+		every := 2
+		failAt := 3 * clean[every].T / 5
+		dir := tmpDir()
+		defer os.RemoveAll(dir)
+		crashed, pl := runOne(newCtl(dir, every), 0, armVia(allCores(failAt)...))
+		mode := pl.Recovery(nb, snapshotAvailable(dir))
+		ck, err := ckpt.Resume(dir, every)
+		if err != nil {
+			panic(err)
+		}
+		restored, _ := runOne(ck, 0, nil)
+		exact := crashed.Err == nil && sameAs(clean[every], restored)
+		t.row("mid-run total loss", every, failAt, len(pl.Killed()), mode, len(ck.ReplayedFailures()), restored.T, exact)
+		checks = append(checks, check("total loss with a checkpoint restores and replays exactly",
+			mode == fault.RecoverRestoreCkpt && len(pl.Killed()) == nb &&
+				len(ck.ReplayedFailures()) == 0 && exact, ""))
+		os.RemoveAll(dir)
+	}
+
+	// Partial loss: survivors exist, so warm-start re-placement wins even
+	// though a checkpoint is on disk — live data is fresher. (E14 runs
+	// that re-placement end to end; here the decision is what's under
+	// test.) The disruption signal is the survivors' barrier deadlock.
+	{
+		every := 2
+		failAt := 3 * clean[every].T / 5
+		dir := tmpDir()
+		defer os.RemoveAll(dir)
+		crashed, pl := runOne(newCtl(dir, every), 0, armVia(fault.CoreFailure{At: failAt, Core: 0}))
+		mode := pl.Recovery(nb, snapshotAvailable(dir))
+		var dl *sim.ErrDeadlock
+		signal := errors.As(crashed.Err, &dl)
+		t.row("partial loss", every, failAt, len(pl.Killed()), mode, 0, "-", signal)
+		checks = append(checks, check("partial loss prefers warm-start over its checkpoint",
+			mode == fault.RecoverWarmStart && signal && len(pl.Killed()) > 0 && len(pl.Killed()) < nb, ""))
+		os.RemoveAll(dir)
+	}
+
+	// Double crash: the run arms a late total failure, then dies early by
+	// budget. The WAL replays the still-pending failure into the restored
+	// run, which suffers it at the original instant and needs a second
+	// restore — from a later checkpoint — to finish. Nondeterminism the
+	// first run was committed to survives recovery.
+	{
+		every := 2
+		failAt := 4 * clean[every].T / 5
+		kill := cleanDisp[every] * 9 / 20
+		dir := tmpDir()
+		defer os.RemoveAll(dir)
+		crashed, _ := runOne(newCtl(dir, every), kill, armVia(allCores(failAt)...))
+		var lim *sim.ErrEventLimit
+		if !errors.As(crashed.Err, &lim) {
+			panic(fmt.Sprintf("recovery: double-crash first run: %v", crashed.Err))
+		}
+		ck2, err := ckpt.Resume(dir, every)
+		if err != nil {
+			panic(err)
+		}
+		gen1 := ck2.ResumedGeneration()
+		second, _ := runOne(ck2, 0, nil)
+		// The replay happens inside the run (RestoreSystem), so the
+		// re-armed set is read afterwards.
+		replayed := len(ck2.ReplayedFailures())
+		pl2 := ck2.ReplayedPlan()
+		mode2 := pl2.Recovery(nb, snapshotAvailable(dir))
+		ck3, err := ckpt.Resume(dir, every)
+		if err != nil {
+			panic(err)
+		}
+		gen3 := ck3.ResumedGeneration()
+		final, _ := runOne(ck3, 0, nil)
+		exact := second.Err == nil && sameAs(clean[every], final)
+		t.row("double crash (WAL)", every, failAt, len(pl2.Killed()), mode2, replayed, final.T, exact)
+		checks = append(checks, check("a WAL-replayed failure strikes the restored run and a later checkpoint recovers it",
+			replayed == nb && len(pl2.Killed()) == nb && mode2 == fault.RecoverRestoreCkpt &&
+				gen3 > gen1 && exact, "resume gen %d → %d", gen1, gen3))
+		os.RemoveAll(dir)
+	}
+
+	return Result{ID: "recovery", Title: Title("recovery"), Table: t.String(), Checks: checks}
+}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
@@ -27,6 +28,11 @@ type Plan struct {
 	down   map[int]bool
 	killed []string
 	fired  []CoreFailure
+
+	// OnFire, when non-nil, is called at the top of every failure event,
+	// before any process is killed. The checkpoint layer uses it to log
+	// fired failures into its WAL; it must be passive.
+	OnFire func(CoreFailure)
 }
 
 // ArmCoreFailures schedules the given failures on sys's kernel and
@@ -47,6 +53,9 @@ func ArmCoreFailures(sys *core.System, events ...CoreFailure) *Plan {
 
 // fail marks the core down and kills its bound processes.
 func (pl *Plan) fail(ev CoreFailure) {
+	if pl.OnFire != nil {
+		pl.OnFire(ev)
+	}
 	pl.fired = append(pl.fired, ev)
 	if pl.down[ev.Core] {
 		return
@@ -89,3 +98,57 @@ func (pl *Plan) Killed() []string { return pl.killed }
 
 // Fired returns the failure events that have triggered so far.
 func (pl *Plan) Fired() []CoreFailure { return pl.fired }
+
+// RecoveryMode is a controller's decision about how to continue after a
+// core-failure disruption.
+type RecoveryMode uint8
+
+const (
+	// RecoverNone: nothing was disrupted; the run completed.
+	RecoverNone RecoveryMode = iota
+	// RecoverWarmStart: survivors exist — re-place the remaining work on
+	// the surviving cores (sched.AllocateExcluding) and warm-start from
+	// the application's current data.
+	RecoverWarmStart
+	// RecoverRestart: every member was lost and no checkpoint exists —
+	// restart the run from scratch, losing all completed work.
+	RecoverRestart
+	// RecoverRestoreCkpt: every member was lost but a checkpoint exists —
+	// restore it and replay, losing only the work since the last
+	// checkpoint.
+	RecoverRestoreCkpt
+)
+
+// String returns "none", "warm-start", "restart" or "restore-ckpt".
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoverNone:
+		return "none"
+	case RecoverWarmStart:
+		return "warm-start"
+	case RecoverRestart:
+		return "restart"
+	case RecoverRestoreCkpt:
+		return "restore-ckpt"
+	}
+	return fmt.Sprintf("RecoveryMode(%d)", uint8(m))
+}
+
+// Recovery picks the recovery mode for a disrupted group of groupSize
+// members given whether a usable checkpoint is available. With
+// survivors, warm-start re-placement is always preferred: the
+// application's live data is strictly fresher than any checkpoint. Only
+// an all-members-lost failure falls back to checkpoint restore, and
+// only a total loss with no checkpoint forces a from-scratch restart.
+func (pl *Plan) Recovery(groupSize int, snapshotAvailable bool) RecoveryMode {
+	if len(pl.killed) == 0 {
+		return RecoverNone
+	}
+	if len(pl.killed) < groupSize {
+		return RecoverWarmStart
+	}
+	if snapshotAvailable {
+		return RecoverRestoreCkpt
+	}
+	return RecoverRestart
+}

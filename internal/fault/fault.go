@@ -107,6 +107,29 @@ func (in *Injector) OnSend(src, dst *msgpass.Endpoint, m *msgpass.Message) (msgp
 	return msgpass.FaultNone, 0
 }
 
+// InjectorState is the injector's full checkpointable state: the PRNG
+// position plus the decision counters. Restoring it replays the exact
+// decision stream the original run would have seen from that point.
+type InjectorState struct {
+	State     uint64
+	Transfers int64
+	Drops     int64
+	Dups      int64
+	Delays    int64
+}
+
+// State returns the injector state for checkpointing.
+func (in *Injector) State() InjectorState {
+	return InjectorState{State: in.state, Transfers: in.transfers, Drops: in.drops, Dups: in.dups, Delays: in.delays}
+}
+
+// Restore overwrites the injector state from a checkpoint. The
+// restoring injector must have been built with the same Config.
+func (in *Injector) Restore(s InjectorState) {
+	in.state = s.State
+	in.transfers, in.drops, in.dups, in.delays = s.Transfers, s.Drops, s.Dups, s.Delays
+}
+
 // Transfers returns the number of decisions made.
 func (in *Injector) Transfers() int64 { return in.transfers }
 

@@ -208,6 +208,73 @@ func TestReliableGivesUp(t *testing.T) {
 	}
 }
 
+// TestDrainWindowCloseSemantics pins the documented asymmetry of the
+// Drain deadline on a lossless link. A payload accepted during the
+// drain window stays queued and is handed out by a later RecvFrom; a
+// frame arriving after the window closes is left unacked and
+// undelivered, and its sender — not bounded by our drain — retransmits
+// until its own MaxTries are spent and Send returns the no-ack error.
+func TestDrainWindowCloseSemantics(t *testing.T) {
+	k := sim.NewKernel()
+	net := msgpass.New(machine.New(k, machine.Niagara()))
+	sEp := net.NewEndpoint("s", 0)
+	rEp := net.NewEndpoint("r", 8)
+
+	var lateErr error
+	var lateSent int64
+	k.Spawn("s", func(p *sim.Proc) {
+		rel := NewReliable(agenttest.New(p, 0), sEp, 50, 3)
+		if err := rel.Send(rEp, "m1"); err != nil { // acked from RecvFrom
+			t.Errorf("m1: %v", err)
+			return
+		}
+		if err := rel.Send(rEp, "m2"); err != nil { // acked from Drain
+			t.Errorf("m2: %v", err)
+			return
+		}
+		p.Hold(600) // outlive the receiver's drain window
+		before := rel.Stats().Sent
+		lateErr = rel.Send(rEp, "m3")
+		lateSent = rel.Stats().Sent - before
+	})
+
+	var got1, got2 any
+	var err1, err2 error
+	var after ReliableStats
+	k.Spawn("r", func(p *sim.Proc) {
+		rel := NewReliable(agenttest.New(p, 8), rEp, 50, 3)
+		got1, err1 = rel.RecvFrom(sEp)
+		rel.Drain(300) // m2 lands inside this window, m3 after it
+		p.Hold(1500)   // silent while the late sender burns its tries
+		got2, err2 = rel.RecvFrom(sEp)
+		after = rel.Stats()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err1 != nil || got1 != "m1" {
+		t.Fatalf("first RecvFrom = %v, %v; want m1", got1, err1)
+	}
+	// Accepted-during-drain payload survives the window close.
+	if err2 != nil || got2 != "m2" {
+		t.Fatalf("post-drain RecvFrom = %v, %v; want queued m2", got2, err2)
+	}
+	// The late frame was never serviced: two payloads accepted, two
+	// acks ever sent, m3's copies sit in the mailbox unacked.
+	if after.Delivered != 2 || after.AcksSent != 2 {
+		t.Errorf("receiver stats %+v, want Delivered=2 AcksSent=2", after)
+	}
+	// Drain bounded our linger, not the peer's retries: it spent its
+	// full MaxTries into the silent mailbox and got the no-ack error.
+	if lateErr == nil {
+		t.Error("late Send after drain close succeeded, want no-ack error")
+	}
+	if lateSent != 3 {
+		t.Errorf("late Send transmitted %d frames, want MaxTries=3", lateSent)
+	}
+}
+
 // TestCoreFailureKillsAndTearsDownClean: a mid-run core failure kills
 // the bound processes, the survivors' next barrier deadlocks, and the
 // kernel teardown leaves no goroutine behind.

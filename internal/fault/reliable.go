@@ -166,6 +166,21 @@ func (r *Reliable) handleData(src *msgpass.Endpoint, f frame) {
 // peer's worst-case remaining backoff schedule (MaxBackoffTicks). The
 // idle tail of the window is charged to CatFault: it is pure
 // fault-recovery overhead.
+//
+// Messages still in flight when the window closes are NOT serviced:
+// Drain returns at the deadline, and any frame arriving after it sits
+// in the endpoint's mailbox unacked and undelivered. The consequences
+// are asymmetric. For the sender of such a data frame, the stop-and-wait
+// contract still holds: it keeps retransmitting into the silent mailbox
+// until its MaxTries are spent and its Send returns the no-ack error —
+// Drain bounds how long this endpoint lingers, not how long a
+// late-arriving peer retries. For this endpoint, nothing is lost that
+// was ever promised: payloads already accepted by handleData (during
+// Drain or earlier) remain queued and deliverable by a later RecvFrom;
+// only frames that arrived after the close are ignored. A d of at
+// least the peers' MaxBackoffTicks makes the late-arrival case
+// impossible for any Send started before the drain began, which is
+// exactly why that is the recommended window.
 func (r *Reliable) Drain(d sim.Time) {
 	p := r.a.Proc()
 	deadline := p.Now() + d

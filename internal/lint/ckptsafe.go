@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// regionCtors are the region allocation entry points whose type
+// argument becomes checkpointed state: internal/memory's NewRegion and
+// the public stamp facade that wraps it.
+var regionCtors = map[string]bool{
+	"repro/internal/memory": true,
+	"repro/stamp":           true,
+}
+
+// Ckptsafe flags NewRegion instantiations whose element type contains
+// state the checkpoint layer cannot serialize. Region contents ride in
+// snapshots as gob-encoded values (memory.RegionBlob), so an element
+// type reaching a raw pointer, func value, channel, unsafe.Pointer or
+// bare interface would make every checkpoint of the run fail — at
+// snapshot time, far from the allocation that caused it. The walk
+// recurses through structs, arrays, slices, maps and named types; a
+// type parameter is skipped (a generic wrapper passes the decision to
+// its own instantiation sites, which are checked in turn).
+func Ckptsafe() *Analyzer {
+	return &Analyzer{
+		Name: "ckptsafe",
+		Doc:  "flag region element types that cannot ride in a checkpoint (pointers, funcs, channels, interfaces)",
+		Run: func(p *Pkg) []Finding {
+			var out []Finding
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id := instantiatedIdent(call.Fun)
+					if id == nil {
+						return true
+					}
+					fn, ok := p.Info.Uses[id].(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Name() != "NewRegion" || !regionCtors[fn.Pkg().Path()] {
+						return true
+					}
+					inst, ok := p.Info.Instances[id]
+					if !ok || inst.TypeArgs == nil || inst.TypeArgs.Len() == 0 {
+						return true
+					}
+					elem := inst.TypeArgs.At(0)
+					if reason := unserializable(elem, map[types.Type]bool{}); reason != "" {
+						out = append(out, Finding{
+							Pos:   p.Fset.Position(id.Pos()),
+							Check: "ckptsafe",
+							Message: fmt.Sprintf("region element type %s cannot ride in a checkpoint (%s); use plain data words, or annotate why this region never reaches a snapshot",
+								elem, reason),
+						})
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// instantiatedIdent returns the identifier naming the function being
+// called, unwrapping an explicit generic instantiation.
+func instantiatedIdent(fun ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.IndexExpr:
+		return instantiatedIdent(e.X)
+	case *ast.IndexListExpr:
+		return instantiatedIdent(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.Ident:
+		return e
+	}
+	return nil
+}
+
+// unserializable returns why t cannot be gob-serialized into a
+// checkpoint, or "" when it can. seen breaks recursive types.
+func unserializable(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return "unsafe.Pointer"
+		}
+		return ""
+	case *types.Pointer:
+		return "raw pointer " + u.String()
+	case *types.Signature:
+		return "func value"
+	case *types.Chan:
+		return "channel " + u.String()
+	case *types.Interface:
+		return fmt.Sprintf("interface value %s — gob cannot decode it without out-of-band type registration", t)
+	case *types.Slice:
+		return unserializable(u.Elem(), seen)
+	case *types.Array:
+		return unserializable(u.Elem(), seen)
+	case *types.Map:
+		if r := unserializable(u.Key(), seen); r != "" {
+			return r
+		}
+		return unserializable(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if r := unserializable(u.Field(i).Type(), seen); r != "" {
+				return fmt.Sprintf("field %s holds %s", u.Field(i).Name(), r)
+			}
+		}
+		return ""
+	case *types.Alias:
+		return unserializable(types.Unalias(u), seen)
+	case *types.Named:
+		return unserializable(u.Underlying(), seen)
+	case *types.TypeParam:
+		// A generic wrapper passing T through: its own instantiation
+		// sites carry the concrete type and are checked there.
+		return ""
+	}
+	return ""
+}

@@ -13,7 +13,10 @@
 //     accounting that T, E and P are built on;
 //   - sround: no charged substrate work in a group body that never
 //     opens an S-round, and no nested S-units/S-rounds (the model's
-//     structural grammar).
+//     structural grammar);
+//   - ckptsafe: no region element types the checkpoint layer cannot
+//     serialize (raw pointers, funcs, channels, interfaces) — they
+//     would fail at snapshot time, far from the allocation.
 //
 // A finding is silenced, one site at a time, with an annotation on the
 // same or the preceding line:
@@ -55,6 +58,7 @@ func Analyzers() []*Analyzer {
 		MapRange(),
 		Backdoor(),
 		SRound(),
+		Ckptsafe(),
 	}
 }
 

@@ -39,6 +39,10 @@ func (r *Region) Peek(i int) int64            { return r.vals[i] }
 func (r *Region) Poke(i int, v int64)         { r.vals[i] = v }
 func (r *Region) Read(c any, i int) int64     { return r.vals[i] }
 func (r *Region) internalUse() int64          { return r.Peek(0) }
+
+type Typed[T any] struct{ vals []T }
+
+func NewRegion[T any](name string, n int) *Typed[T] { return &Typed[T]{vals: make([]T, n)} }
 `,
 
 	// Deterministic package: wall clock, global rand, map ranges.
@@ -158,6 +162,21 @@ func Nested(sys *core.System) {
 		})
 	})
 }
+
+type handle struct {
+	id   int64
+	done chan struct{}
+}
+
+func Regions() {
+	_ = memory.NewRegion[float64]("ok", 8) // fine: plain data words
+	_ = memory.NewRegion[handle]("h", 8)   // finding: ckptsafe (chan field)
+	_ = memory.NewRegion[*int64]("p", 8)   // finding: ckptsafe (pointer)
+	_ = memory.NewRegion[func()]("f", 8)   // finding: ckptsafe (func value)
+	_ = memory.NewRegion[any]("i", 8)      // finding: ckptsafe (interface)
+	//stamplint:allow ckptsafe: scratch region is never snapshotted
+	_ = memory.NewRegion[*int64]("scratch", 8)
+}
 `,
 }
 
@@ -225,6 +244,10 @@ func TestFixtureFindings(t *testing.T) {
 		{"sround", "use/use.go:44"},               // nested round
 		{"sround", "use/use.go:45"},               // unit inside round
 		{"sround", "use/use.go:48"},               // nested unit
+		{"ckptsafe", "use/use.go:60"},             // chan field
+		{"ckptsafe", "use/use.go:61"},             // pointer element
+		{"ckptsafe", "use/use.go:62"},             // func element
+		{"ckptsafe", "use/use.go:63"},             // interface element
 	}
 	for _, w := range want {
 		if !has(res, w.check, w.site) {
@@ -253,7 +276,7 @@ func TestFixtureSuppressionAndCounts(t *testing.T) {
 		}
 	}
 
-	// The two well-formed, load-bearing annotations must be counted
+	// The three well-formed, load-bearing annotations must be counted
 	// and marked used; the three broken ones counted but not used.
 	var used, total int
 	for _, a := range res.Annotations {
@@ -262,10 +285,10 @@ func TestFixtureSuppressionAndCounts(t *testing.T) {
 			used++
 		}
 	}
-	if total != 5 {
-		t.Errorf("counted %d annotations, want 5", total)
+	if total != 6 {
+		t.Errorf("counted %d annotations, want 6", total)
 	}
-	if used != 2 {
-		t.Errorf("%d annotations marked used, want 2 (AllowedWalk maprange + Seed backdoor)", used)
+	if used != 3 {
+		t.Errorf("%d annotations marked used, want 3 (AllowedWalk maprange + Seed backdoor + Regions ckptsafe)", used)
 	}
 }

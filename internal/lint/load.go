@@ -94,6 +94,7 @@ func Load(dir string, patterns []string) ([]*Pkg, error) {
 			Uses:       map[*ast.Ident]types.Object{},
 			Defs:       map[*ast.Ident]types.Object{},
 			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Instances:  map[*ast.Ident]types.Instance{},
 		}
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(e.ImportPath, fset, files, info)

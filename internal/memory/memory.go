@@ -110,9 +110,29 @@ type Memory struct {
 func (mem *Memory) SetProbe(pr Probe) { mem.probe = pr }
 
 type regionInfo struct {
-	name  string
-	words int
-	stats func() RegionStats
+	name     string
+	words    int
+	stats    func() RegionStats
+	snapshot func() RegionBlob
+	restore  func(RegionBlob) error
+}
+
+// RegionBlob is one region's full checkpointable state: values,
+// per-location service-queue horizon and access counters. Vals holds a
+// copy of the typed value slice ([]T) behind an any — the restoring
+// side type-asserts it back, so a blob only round-trips into a region
+// of the identical element type. Regions marked AllowRaces are captured
+// like any other: at a barrier-consistent instant there are no accesses
+// in progress, so even a racy region's contents are well-defined.
+type RegionBlob struct {
+	Name     string
+	Vals     any
+	NextFree []sim.Time
+	Reads    int64
+	Writes   int64
+	Stalled  int64
+	StallT   sim.Time
+	MaxDepth int64
 }
 
 // RegionStats is one region's access/contention summary, exported for
@@ -196,16 +216,71 @@ func NewRegion[T any](mem *Memory, name string, scope Scope, homeCore, n int) *R
 		vals:     make([]T, n),
 		nextFree: make([]sim.Time, n),
 	}
-	// The stats closure erases the type parameter so Memory can
-	// enumerate regions of any element type.
-	mem.regions = append(mem.regions, regionInfo{name: name, words: n, stats: func() RegionStats {
-		return RegionStats{
-			Name: r.name, Words: len(r.vals), Scope: r.scope,
-			Reads: r.reads, Writes: r.writes,
-			Stalled: r.stalled, StallTicks: r.stallT, MaxQueueDepth: r.maxDepth,
-		}
-	}})
+	// The stats/snapshot/restore closures erase the type parameter so
+	// Memory can enumerate and checkpoint regions of any element type.
+	mem.regions = append(mem.regions, regionInfo{
+		name: name, words: n,
+		stats: func() RegionStats {
+			return RegionStats{
+				Name: r.name, Words: len(r.vals), Scope: r.scope,
+				Reads: r.reads, Writes: r.writes,
+				Stalled: r.stalled, StallTicks: r.stallT, MaxQueueDepth: r.maxDepth,
+			}
+		},
+		snapshot: func() RegionBlob {
+			vals := make([]T, len(r.vals))
+			copy(vals, r.vals)
+			next := make([]sim.Time, len(r.nextFree))
+			copy(next, r.nextFree)
+			return RegionBlob{
+				Name: r.name, Vals: vals, NextFree: next,
+				Reads: r.reads, Writes: r.writes,
+				Stalled: r.stalled, StallT: r.stallT, MaxDepth: r.maxDepth,
+			}
+		},
+		restore: func(b RegionBlob) error {
+			vals, ok := b.Vals.([]T)
+			if !ok {
+				return fmt.Errorf("memory: region %q: blob holds %T, want []%T", r.name, b.Vals, *new(T))
+			}
+			if len(vals) != len(r.vals) || len(b.NextFree) != len(r.nextFree) {
+				return fmt.Errorf("memory: region %q: blob size %d/%d, want %d", r.name, len(vals), len(b.NextFree), len(r.vals))
+			}
+			copy(r.vals, vals)
+			copy(r.nextFree, b.NextFree)
+			r.reads, r.writes = b.Reads, b.Writes
+			r.stalled, r.stallT, r.maxDepth = b.Stalled, b.StallT, b.MaxDepth
+			return nil
+		},
+	})
 	return r
+}
+
+// SnapshotRegions captures every region's state in allocation order.
+func (mem *Memory) SnapshotRegions() []RegionBlob {
+	out := make([]RegionBlob, 0, len(mem.regions))
+	for _, r := range mem.regions {
+		out = append(out, r.snapshot())
+	}
+	return out
+}
+
+// RestoreRegions overwrites region state from blobs. The restoring
+// Memory must have allocated the same regions in the same order (same
+// names, sizes and element types) as the checkpointed one.
+func (mem *Memory) RestoreRegions(blobs []RegionBlob) error {
+	if len(blobs) != len(mem.regions) {
+		return fmt.Errorf("memory: restore with %d region blobs, have %d regions", len(blobs), len(mem.regions))
+	}
+	for i, b := range blobs {
+		if b.Name != mem.regions[i].name {
+			return fmt.Errorf("memory: restore region %d: blob %q, have %q", i, b.Name, mem.regions[i].name)
+		}
+		if err := mem.regions[i].restore(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Name returns the region's name.

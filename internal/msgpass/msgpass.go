@@ -96,6 +96,21 @@ type Probe interface {
 // Attach before the simulation runs.
 func (n *Network) SetProbe(pr Probe) { n.probe = pr }
 
+// DeliveryRecorder observes scheduled deliveries for checkpointing: a
+// message is "in flight" from the instant delivery is scheduled until
+// the delivery event fires. The checkpoint layer (internal/ckpt) is the
+// one implementation; it must be passive. Depart returns a nonzero
+// token; Land redeems it when the message arrives.
+type DeliveryRecorder interface {
+	Depart(dst *Endpoint, m *Message, arrive sim.Time) uint64
+	Land(token uint64)
+}
+
+// SetDeliveryRecorder installs rec on the network; nil disables
+// recording. With no recorder the delivery path is byte-identical to
+// the unrecorded one.
+func (n *Network) SetDeliveryRecorder(rec DeliveryRecorder) { n.recorder = rec }
+
 // Network is the message-passing subsystem of one simulated machine.
 type Network struct {
 	m *machine.Machine
@@ -108,6 +123,7 @@ type Network struct {
 
 	faults     FaultInjector
 	probe      Probe
+	recorder   DeliveryRecorder
 	dropped    int64
 	duplicated int64
 	delayed    int64
@@ -157,6 +173,7 @@ func (n *Network) FaultDelayTicks() sim.Time { return n.faultDelay }
 type Endpoint struct {
 	net    *Network
 	name   string
+	idx    int // registration index within net
 	thread machine.ThreadID
 	inbox  []Message
 	rq     sim.WaitQueue // blocked receivers
@@ -168,10 +185,20 @@ func (n *Network) NewEndpoint(name string, t machine.ThreadID) *Endpoint {
 	if int(t) < 0 || int(t) >= n.m.Cfg.NumThreads() {
 		panic(fmt.Sprintf("msgpass: endpoint thread %d out of range", t))
 	}
-	ep := &Endpoint{net: n, name: name, thread: t}
+	ep := &Endpoint{net: n, name: name, idx: len(n.endpoints), thread: t}
 	n.endpoints = append(n.endpoints, ep)
 	return ep
 }
+
+// Index returns the endpoint's registration index — the stable
+// coordinate checkpoints use in place of the pointer.
+func (e *Endpoint) Index() int { return e.idx }
+
+// NumEndpoints returns how many endpoints have been registered.
+func (n *Network) NumEndpoints() int { return len(n.endpoints) }
+
+// Endpoint returns the i'th registered endpoint.
+func (n *Network) Endpoint(i int) *Endpoint { return n.endpoints[i] }
 
 // Name returns the endpoint name.
 func (e *Endpoint) Name() string { return e.name }
@@ -281,6 +308,10 @@ func (e *Endpoint) SendSync(a Agent, dst *Endpoint, payload any) {
 
 // deliverAt schedules the arrival of m at dst after delay.
 func (n *Network) deliverAt(k *sim.Kernel, dst *Endpoint, m Message, delay sim.Time) {
+	var tok uint64
+	if n.recorder != nil {
+		tok = n.recorder.Depart(dst, &m, k.Now()+delay)
+	}
 	k.Schedule(delay, func() {
 		m.Arrived = k.Now()
 		dst.inbox = append(dst.inbox, m)
@@ -288,8 +319,107 @@ func (n *Network) deliverAt(k *sim.Kernel, dst *Endpoint, m Message, delay sim.T
 			n.maxInbox = len(dst.inbox)
 		}
 		n.delivered++
+		if tok != 0 {
+			n.recorder.Land(tok)
+		}
 		dst.rq.Signal(k)
 	})
+}
+
+// InboxMessage is a Message with its sender pointer replaced by the
+// sender's endpoint index — the serializable form checkpoints store for
+// both parked inbox contents and in-flight deliveries. The
+// happens-before probe token is intentionally not preserved: the race
+// detector and checkpointing address different runs (detection is a
+// property of the uninterrupted execution), so tokens do not survive a
+// restore.
+type InboxMessage struct {
+	From    int
+	Payload any
+	Words   int
+	SentAt  sim.Time
+	Arrived sim.Time
+}
+
+// SnapshotInbox returns the arrived-but-unreceived messages of e in
+// FIFO order, in serializable form.
+func (e *Endpoint) SnapshotInbox() []InboxMessage {
+	if len(e.inbox) == 0 {
+		return nil
+	}
+	out := make([]InboxMessage, len(e.inbox))
+	for i, m := range e.inbox {
+		out[i] = InboxMessage{
+			From: m.From.idx, Payload: m.Payload, Words: m.Words,
+			SentAt: m.SentAt, Arrived: m.Arrived,
+		}
+	}
+	return out
+}
+
+// RestoreInbox replaces e's inbox with msgs (FIFO order preserved).
+// Sender indices must refer to endpoints already registered on e's
+// network.
+func (e *Endpoint) RestoreInbox(msgs []InboxMessage) {
+	e.inbox = e.inbox[:0]
+	for _, im := range msgs {
+		if im.From < 0 || im.From >= len(e.net.endpoints) {
+			panic(fmt.Sprintf("msgpass: RestoreInbox sender index %d out of range", im.From))
+		}
+		e.inbox = append(e.inbox, Message{
+			From: e.net.endpoints[im.From], Payload: im.Payload, Words: im.Words,
+			SentAt: im.SentAt, Arrived: im.Arrived,
+		})
+	}
+}
+
+// ScheduleDelivery re-injects a checkpointed in-flight message: arrival
+// of im at dst at absolute virtual time arrive. It routes through the
+// normal delivery path, so the arrival counts toward the delivery
+// statistics (as the original arrival would have) and is re-recorded by
+// any installed DeliveryRecorder (so a later checkpoint sees it in
+// flight again). The wire/occupancy charges are NOT re-applied — they
+// were paid at the original send instant and live in the restored
+// counter state.
+func (n *Network) ScheduleDelivery(dst *Endpoint, im InboxMessage, arrive sim.Time) {
+	if im.From < 0 || im.From >= len(n.endpoints) {
+		panic(fmt.Sprintf("msgpass: ScheduleDelivery sender index %d out of range", im.From))
+	}
+	k := n.m.K
+	delay := arrive - k.Now()
+	if delay < 0 {
+		panic("msgpass: ScheduleDelivery arrival in the past")
+	}
+	m := Message{From: n.endpoints[im.From], Payload: im.Payload, Words: im.Words, SentAt: im.SentAt}
+	n.deliverAt(k, dst, m, delay)
+}
+
+// NetState is the network's counter state in serializable form.
+type NetState struct {
+	Delivered  int64
+	WireTicks  sim.Time
+	Occupancy  float64
+	MaxInbox   int
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	FaultDelay sim.Time
+}
+
+// State returns the network counters for checkpointing.
+func (n *Network) State() NetState {
+	return NetState{
+		Delivered: n.delivered, WireTicks: n.wireTicks, Occupancy: n.occupancy,
+		MaxInbox: n.maxInbox, Dropped: n.dropped, Duplicated: n.duplicated,
+		Delayed: n.delayed, FaultDelay: n.faultDelay,
+	}
+}
+
+// RestoreState overwrites the network counters from a checkpoint.
+func (n *Network) RestoreState(s NetState) {
+	n.delivered, n.wireTicks, n.occupancy = s.Delivered, s.WireTicks, s.Occupancy
+	n.maxInbox, n.dropped, n.duplicated = s.MaxInbox, s.Dropped, s.Duplicated
+	n.delayed, n.faultDelay = s.Delayed, s.FaultDelay
 }
 
 // Recv blocks agent a until a message is available in its endpoint e,

@@ -399,3 +399,24 @@ func (k *Kernel) blockedNames() []string {
 // Dispatched returns the number of events dispatched so far (coalesced
 // holds included).
 func (k *Kernel) Dispatched() int64 { return k.dispatched }
+
+// Seq returns the event sequence counter — the total number of events
+// ever pushed. Checkpoints record it alongside the clock so a restored
+// kernel's FIFO tie-breaking resumes from the same position.
+func (k *Kernel) Seq() int64 { return k.seq }
+
+// Restore positions a fresh kernel at a checkpointed instant: virtual
+// time now, sequence counter seq and dispatch count dispatched. Only a
+// pristine kernel may be restored — never run, nothing spawned,
+// nothing scheduled — because restore substitutes recorded history for
+// live state rather than merging with it. Events and processes added
+// after Restore behave as if the kernel had genuinely reached now.
+func (k *Kernel) Restore(now Time, seq, dispatched int64) {
+	if k.running || k.stopped || len(k.procs) > 0 || k.events.Len() > 0 || k.now != 0 {
+		panic("sim: Restore needs a pristine kernel (never run, no procs, no events)")
+	}
+	if now < 0 || seq < 0 || dispatched < 0 {
+		panic("sim: Restore with negative state")
+	}
+	k.now, k.seq, k.dispatched = now, seq, dispatched
+}

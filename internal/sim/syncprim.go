@@ -22,6 +22,21 @@ func NewBarrier(k *Kernel, parties int) *Barrier {
 // Generation returns how many times the barrier has tripped.
 func (b *Barrier) Generation() int64 { return b.gen }
 
+// RestoreGeneration resets the trip counter to gen. Checkpoint restore
+// uses it so a resumed run's barrier coordinates (race-detector edges,
+// introspection) match the uninterrupted run's. The barrier must be
+// idle: a checkpoint's consistency point is after a trip, never inside
+// one.
+func (b *Barrier) RestoreGeneration(gen int64) {
+	if b.arrived != 0 {
+		panic("sim: RestoreGeneration with arrivals in progress")
+	}
+	if gen < 0 {
+		panic("sim: negative barrier generation")
+	}
+	b.gen = gen
+}
+
 // Await blocks p until all parties have arrived. It returns true for
 // the process that tripped the barrier (the last arriver).
 func (b *Barrier) Await(p *Proc) bool {

@@ -48,6 +48,10 @@ type STM struct {
 	commits  int64
 	aborts   int64
 
+	// vars registers every TVar in allocation order so checkpoints can
+	// enumerate them without knowing element types.
+	vars []ckptVar
+
 	// commitWaiters holds processes blocked in a Retry; every commit
 	// broadcasts them awake.
 	commitWaiters sim.WaitQueue
@@ -123,7 +127,87 @@ type TVar[T any] struct {
 // NewTVar allocates a transactional variable with an initial committed
 // value.
 func NewTVar[T any](s *STM, name string, init T) *TVar[T] {
-	return &TVar[T]{s: s, name: name, val: init}
+	v := &TVar[T]{s: s, name: name, val: init}
+	s.vars = append(s.vars, v)
+	return v
+}
+
+// ckptVar is the type-erased checkpoint view of a TVar.
+type ckptVar interface {
+	snapshotVar() TVarBlob
+	restoreVar(TVarBlob) error
+}
+
+// TVarBlob is one transactional variable's committed state in
+// serializable form. Pending (uncommitted) writes are never captured:
+// checkpoints are taken at barrier-consistent instants, where no
+// transaction is in flight.
+type TVarBlob struct {
+	Name    string
+	Val     any
+	Version uint64
+}
+
+// State is the STM's full checkpointable state.
+type State struct {
+	BirthSeq uint64
+	Commits  int64
+	Aborts   int64
+	Vars     []TVarBlob
+}
+
+// Snapshot captures the STM state. It fails if any variable is owned by
+// an active transaction — a checkpoint must only be taken at a quiescent
+// instant.
+func (s *STM) Snapshot() (State, error) {
+	st := State{BirthSeq: s.birthSeq, Commits: s.commits, Aborts: s.aborts}
+	for _, v := range s.vars {
+		b := v.snapshotVar()
+		if b.Val == nil {
+			return State{}, fmt.Errorf("stm: snapshot of %s with a transaction in flight", b.Name)
+		}
+		st.Vars = append(st.Vars, b)
+	}
+	return st, nil
+}
+
+// Restore overwrites STM state from a checkpoint. The restoring STM
+// must have allocated the same variables in the same order (same names
+// and element types) as the checkpointed one.
+func (s *STM) Restore(st State) error {
+	if len(st.Vars) != len(s.vars) {
+		return fmt.Errorf("stm: restore with %d vars, have %d", len(st.Vars), len(s.vars))
+	}
+	for i, b := range st.Vars {
+		if err := s.vars[i].restoreVar(b); err != nil {
+			return err
+		}
+	}
+	s.birthSeq, s.commits, s.aborts = st.BirthSeq, st.Commits, st.Aborts
+	return nil
+}
+
+func (v *TVar[T]) snapshotVar() TVarBlob {
+	if v.owner != nil {
+		return TVarBlob{Name: v.name, Val: nil, Version: v.version}
+	}
+	return TVarBlob{Name: v.name, Val: v.val, Version: v.version}
+}
+
+func (v *TVar[T]) restoreVar(b TVarBlob) error {
+	if b.Name != v.name {
+		return fmt.Errorf("stm: restore var %q into %q", b.Name, v.name)
+	}
+	val, ok := b.Val.(T)
+	if !ok {
+		return fmt.Errorf("stm: var %q: blob holds %T, want %T", v.name, b.Val, v.val)
+	}
+	if v.owner != nil {
+		return fmt.Errorf("stm: restore of %q with a transaction in flight", v.name)
+	}
+	v.val = val
+	v.version = b.Version
+	return nil
 }
 
 // Value returns the committed value without simulation cost (for
