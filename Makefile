@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-smoke check fmt vet lint race ckpt-fuzz
+.PHONY: all build test bench bench-smoke check fmt vet lint race ckpt-fuzz e2e
 
 all: build
 
@@ -37,7 +37,13 @@ lint: vet
 	$(GO) run ./cmd/stamplint ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/... ./internal/racedet/... ./internal/ckpt/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/... ./internal/racedet/... ./internal/ckpt/... ./internal/serve/...
+
+# Black-box e2e: boot stampserve on an ephemeral port, submit scenarios
+# over HTTP and assert on the event stream, /metrics and the scenario
+# cache. Uses bats when installed, plain bash otherwise; needs curl+jq.
+e2e:
+	bash scripts/e2e/run.sh
 
 # Kill/restore equivalence fuzz: crash a checkpointed run at many event
 # budgets, restore, and require the final virtual time, energy and

@@ -22,15 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/obs"
 	"repro/internal/racedet"
 )
 
@@ -82,7 +79,8 @@ func main() {
 	wall := time.Since(start)
 
 	if *benchOut != "" {
-		if err := writeBenchJSON(*benchOut, results, wall, *parallel); err != nil {
+		rep := experiments.NewBenchReport(results, time.Now().UTC(), wall, *parallel)
+		if err := rep.WriteFile(*benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -107,7 +105,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, r := range results {
-			if err := dumpMetrics(*metricsDir, r); err != nil {
+			if err := experiments.DumpMetrics(*metricsDir, r); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
@@ -136,80 +134,4 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
-}
-
-// benchReport is the -bench-out JSON shape: enough host context to
-// compare runs across machines, plus per-experiment pass state and the
-// suite wall-clock. Committed snapshots (BENCH_baseline.json) use this
-// format.
-type benchReport struct {
-	GeneratedAt time.Time `json:"generated_at"`
-	GoOS        string    `json:"goos"`
-	GoArch      string    `json:"goarch"`
-	NumCPU      int       `json:"num_cpu"`
-	Workers     int       `json:"workers"`
-	WallNanos   int64     `json:"wall_ns"`
-	Experiments []struct {
-		ID     string `json:"id"`
-		Passed bool   `json:"passed"`
-	} `json:"experiments"`
-}
-
-func writeBenchJSON(path string, results []experiments.Result, wall time.Duration, workers int) error {
-	rep := benchReport{
-		GeneratedAt: time.Now().UTC(),
-		GoOS:        runtime.GOOS,
-		GoArch:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Workers:     workers,
-		WallNanos:   wall.Nanoseconds(),
-	}
-	for _, r := range results {
-		rep.Experiments = append(rep.Experiments, struct {
-			ID     string `json:"id"`
-			Passed bool   `json:"passed"`
-		}{r.ID, r.Passed()})
-	}
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
-}
-
-// dumpMetrics writes one experiment's checks as a Prometheus-text
-// metric dump: a passed gauge per check plus totals, all labeled with
-// the experiment id.
-func dumpMetrics(dir string, r experiments.Result) error {
-	reg := obs.NewRegistry()
-	el := obs.L("experiment", r.ID)
-	passed, failed := 0, 0
-	for _, c := range r.Checks {
-		v := 0.0
-		if c.Pass {
-			v = 1
-			passed++
-		} else {
-			failed++
-		}
-		reg.Gauge("stampbench_check_passed", "Whether the named claim check passed.",
-			el, obs.L("check", c.Name)).Set(v)
-	}
-	reg.Gauge("stampbench_checks_total", "Claim checks run.", el).Set(float64(len(r.Checks)))
-	reg.Gauge("stampbench_checks_failed", "Claim checks that failed.", el).Set(float64(failed))
-	ok := 0.0
-	if r.Passed() {
-		ok = 1
-	}
-	reg.Gauge("stampbench_passed", "Whether every check of the experiment passed.", el).Set(ok)
-
-	f, err := os.Create(filepath.Join(dir, r.ID+".prom"))
-	if err != nil {
-		return err
-	}
-	if err := reg.WritePrometheus(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -1,0 +1,71 @@
+// Command stampserve is the live telemetry service: a long-running
+// HTTP front end to the simulator that accepts scenario specs
+// (machine config × experiment/app × fault plan), runs them on a
+// worker pool, streams per-run progress events and serves aggregate
+// Prometheus metrics. Identical scenarios are served from a
+// content-addressed result cache byte-for-byte.
+//
+// Usage:
+//
+//	stampserve -addr 127.0.0.1:8080 -workers 4
+//
+//	curl -s -X POST localhost:8080/runs -d '{"app":"jacobi","n":8,"iters":4}'
+//	curl -s localhost:8080/runs/r1/events      # NDJSON event stream
+//	curl -s localhost:8080/runs/r1/result      # cached result JSON
+//	curl -s localhost:8080/metrics             # Prometheus text
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 4, "concurrent scenario runs")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stampserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "stampserve: "+format+"\n", args...)
+	}
+	srv := serve.New(*workers, logf)
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The listening line is the boot handshake the e2e harness waits
+	// for; keep it on stdout and keep the URL parseable.
+	fmt.Printf("stampserve listening on http://%s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logf("caught %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "stampserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

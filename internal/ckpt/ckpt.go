@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -329,6 +330,14 @@ func (ck *Controller) contribute(ctx *core.Ctx, gen int, state any) {
 		}
 		ck.written = append(ck.written, path)
 		ck.lastGen = b.snap.Generation
+		// The snapshot is durable: publish the commit on the event
+		// stream (generation only — the path is host state and would
+		// break the stream's determinism).
+		if tr := ctx.System().Obs.Tracer(); tr.Streaming() {
+			tr.Emit(obs.Event{At: now, Kind: obs.EvCkpt, Proc: ctx.SimProc().Name(),
+				Cat: "ckpt", Name: "commit", Gen: int64(b.snap.Generation),
+				Detail: fmt.Sprintf("members %d vtime %d", g.Size(), now)})
+		}
 	}
 }
 

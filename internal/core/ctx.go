@@ -373,10 +373,32 @@ func (c *Ctx) SRound(fn func()) {
 }
 
 // barrierWait blocks on the group barrier, attributing the wait to
-// CatBarrier and recording it as a span/event when tracing.
+// CatBarrier and recording it as a span/event when tracing. When the
+// tracer is streaming, the last arriver additionally publishes the
+// completed generation (EvBarrier) and the fleet-wide profiler deltas
+// accumulated since the previous generation (EvProfile) — the live
+// progress signal stampserve's event stream is built on.
 func (c *Ctx) barrierWait() {
 	before := c.Now()
-	c.g.bar.Await(c.p)
+	tripped := c.g.bar.Await(c.p)
+	if tripped {
+		if tr := c.tracerSpans(); tr.Streaming() {
+			gen := c.g.bar.Generation()
+			now := c.p.Now()
+			tr.Emit(obs.Event{At: now, Kind: obs.EvBarrier, Proc: c.p.Name(),
+				Cat: "barrier", Name: "generation", Detail: c.g.name, Gen: gen})
+			if pf := c.sys.Obs.Profiler(); pf.Enabled() {
+				tot := pf.Totals()
+				delta := tot
+				for i := range delta {
+					delta[i] -= c.g.profPub[i]
+				}
+				c.g.profPub = tot
+				tr.Emit(obs.Event{At: now, Kind: obs.EvProfile, Proc: c.p.Name(),
+					Cat: "profile", Name: "delta", Detail: profileDeltaDetail(delta), Gen: gen})
+			}
+		}
+	}
 	wait := c.Now() - before
 	if wait <= 0 {
 		return
@@ -387,6 +409,21 @@ func (c *Ctx) barrierWait() {
 		id := tr.Begin(before, c.p.Name(), "barrier", "barrier", c.spanParent())
 		tr.End(id, before+wait)
 	}
+}
+
+// profileDeltaDetail renders a category-delta vector compactly and
+// deterministically: "compute=12 memwait=3 ..." in category order.
+func profileDeltaDetail(d obs.CatTimes) string {
+	var b []byte
+	for cat := obs.Category(0); cat < obs.NumCategories; cat++ {
+		if cat > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, cat.String()...)
+		b = append(b, '=')
+		b = fmt.Appendf(b, "%d", d[cat])
+	}
+	return string(b)
 }
 
 // Rounds returns the per-round measurements recorded so far.

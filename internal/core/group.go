@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -19,6 +20,12 @@ type Group struct {
 	ctxs      []*Ctx
 	bar       *sim.Barrier
 	placement Placement
+
+	// profPub is the profiler total vector last published on the event
+	// stream (at a barrier generation); the next EvProfile event carries
+	// the delta since. Only touched by the simulation goroutine, and only
+	// while a stream is attached.
+	profPub obs.CatTimes
 }
 
 // GroupOption configures a group at spawn time.
@@ -128,7 +135,13 @@ func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *
 				ctx.flush() // body may end with batched compute pending
 				ctx.end = p.Now()
 				sys.Obs.Tracer().End(ctx.procSpan, ctx.end)
-				ctx.prof.Finish(ctx.end - ctx.start)
+				if p.Killed() {
+					// A kill interrupts instrumented sections mid-flight:
+					// charges may exceed the elapsed total, so seal leniently.
+					ctx.prof.FinishInterrupted(ctx.end - ctx.start)
+				} else {
+					ctx.prof.Finish(ctx.end - ctx.start)
+				}
 				sys.M.Release(ctx.thread)
 			}()
 			body(ctx)

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BenchExperiment is one per-experiment row of a BenchReport.
+type BenchExperiment struct {
+	ID     string `json:"id"`
+	Passed bool   `json:"passed"`
+}
+
+// BenchReport is the machine-readable wall-clock report stampbench
+// writes with -bench-out: enough host context to compare runs across
+// machines, plus per-experiment pass state and the suite wall-clock.
+// Committed snapshots (BENCH_baseline.json) use this format. It
+// applies to any result set — the full suite, a parallel run, or a
+// single experiment selected with -experiment.
+type BenchReport struct {
+	GeneratedAt time.Time         `json:"generated_at"`
+	GoOS        string            `json:"goos"`
+	GoArch      string            `json:"goarch"`
+	NumCPU      int               `json:"num_cpu"`
+	Workers     int               `json:"workers"`
+	WallNanos   int64             `json:"wall_ns"`
+	Experiments []BenchExperiment `json:"experiments"`
+}
+
+// NewBenchReport assembles the report for a result set. The caller
+// supplies the wall-clock measurements (generatedAt, wall): this
+// package is deterministic and never reads the host clock itself.
+func NewBenchReport(results []Result, generatedAt time.Time, wall time.Duration, workers int) BenchReport {
+	rep := BenchReport{
+		GeneratedAt: generatedAt,
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Workers:     workers,
+		WallNanos:   wall.Nanoseconds(),
+	}
+	for _, r := range results {
+		rep.Experiments = append(rep.Experiments, BenchExperiment{ID: r.ID, Passed: r.Passed()})
+	}
+	return rep
+}
+
+// WriteFile writes the report as indented JSON.
+func (rep BenchReport) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// CheckRegistry renders one experiment's checks into a metrics
+// registry: a passed gauge per check plus totals, all labeled with
+// the experiment id.
+func CheckRegistry(r Result) *obs.Registry {
+	reg := obs.NewRegistry()
+	el := obs.L("experiment", r.ID)
+	failed := 0
+	for _, c := range r.Checks {
+		v := 0.0
+		if !c.Pass {
+			failed++
+		} else {
+			v = 1
+		}
+		reg.Gauge("stampbench_check_passed", "Whether the named claim check passed.",
+			el, obs.L("check", c.Name)).Set(v)
+	}
+	reg.Gauge("stampbench_checks_total", "Claim checks run.", el).Set(float64(len(r.Checks)))
+	reg.Gauge("stampbench_checks_failed", "Claim checks that failed.", el).Set(float64(failed))
+	ok := 0.0
+	if r.Passed() {
+		ok = 1
+	}
+	reg.Gauge("stampbench_passed", "Whether every check of the experiment passed.", el).Set(ok)
+	return reg
+}
+
+// DumpMetrics writes one experiment's check registry as a
+// Prometheus-text dump to dir/<id>.prom.
+func DumpMetrics(dir string, r Result) error {
+	f, err := os.Create(filepath.Join(dir, r.ID+".prom"))
+	if err != nil {
+		return err
+	}
+	if err := CheckRegistry(r).WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

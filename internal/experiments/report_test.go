@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchReportSingleExperiment covers the `-experiment <id>
+// -bench-out` path: a one-element result set renders a complete
+// report, not just the full suite.
+func TestBenchReportSingleExperiment(t *testing.T) {
+	res, err := Run("models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	rep := NewBenchReport([]Result{res}, at, 1500*time.Millisecond, 1)
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "models" || !rep.Experiments[0].Passed {
+		t.Fatalf("bad single-experiment report rows: %+v", rep.Experiments)
+	}
+	if rep.WallNanos != 1500*time.Millisecond.Nanoseconds() {
+		t.Fatalf("wall %d", rep.WallNanos)
+	}
+	if !rep.GeneratedAt.Equal(at) {
+		t.Fatalf("generated at %v, want %v", rep.GeneratedAt, at)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("bench JSON not parseable: %v", err)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].ID != "models" {
+		t.Fatalf("round-trip lost the experiment row: %+v", back)
+	}
+}
+
+// TestDumpMetricsSingleExperiment covers the `-experiment <id>
+// -metrics-out DIR` path: one .prom file per selected experiment with
+// the per-check gauges.
+func TestDumpMetricsSingleExperiment(t *testing.T) {
+	res, err := Run("models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := DumpMetrics(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "models.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		`stampbench_passed{experiment="models"} 1`,
+		`stampbench_checks_failed{experiment="models"} 0`,
+		"stampbench_check_passed{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, text)
+		}
+	}
+	if got := strings.Count(text, "stampbench_check_passed{"); got != len(res.Checks) {
+		t.Errorf("dump has %d check gauges, want %d", got, len(res.Checks))
+	}
+}
+
+// TestCheckRegistryFailedCheck asserts failed checks surface as 0
+// gauges and flip the aggregate.
+func TestCheckRegistryFailedCheck(t *testing.T) {
+	r := Result{ID: "fake", Checks: []Check{
+		{Name: "good", Pass: true},
+		{Name: "bad", Pass: false, Note: "expected"},
+	}}
+	var sb strings.Builder
+	if err := CheckRegistry(r).WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`stampbench_check_passed{check="good",experiment="fake"} 1`,
+		`stampbench_check_passed{check="bad",experiment="fake"} 0`,
+		`stampbench_checks_failed{experiment="fake"} 1`,
+		`stampbench_passed{experiment="fake"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("registry missing %q:\n%s", want, text)
+		}
+	}
+}

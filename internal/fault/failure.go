@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -58,10 +59,12 @@ func (pl *Plan) fail(ev CoreFailure) {
 	}
 	pl.fired = append(pl.fired, ev)
 	if pl.down[ev.Core] {
+		pl.emitFired(ev, 0)
 		return
 	}
 	pl.down[ev.Core] = true
 	cfg := pl.sys.M.Cfg
+	nKilled := 0
 	for _, g := range pl.sys.Groups() {
 		for _, c := range g.Ctxs() {
 			p := c.SimProc()
@@ -73,7 +76,20 @@ func (pl *Plan) fail(ev CoreFailure) {
 			}
 			pl.killed = append(pl.killed, p.Name())
 			c.Kill()
+			nKilled++
 		}
+	}
+	pl.emitFired(ev, nKilled)
+}
+
+// emitFired publishes a fired failure on the event stream, after its
+// effects are applied, so a live consumer sees the disruption the
+// moment the simulation does.
+func (pl *Plan) emitFired(ev CoreFailure, killed int) {
+	if tr := pl.sys.Obs.Tracer(); tr.Streaming() {
+		tr.Emit(obs.Event{At: pl.sys.K.Now(), Kind: obs.EvFault,
+			Cat: "fault", Name: "core_failure",
+			Detail: fmt.Sprintf("core %d killed %d", ev.Core, killed)})
 	}
 }
 

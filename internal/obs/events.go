@@ -1,0 +1,76 @@
+package obs
+
+import "repro/internal/sim"
+
+// Event kinds published on a tracer's stream channel. Span events
+// mirror the tracer's span lifecycle; the rest are first-class progress
+// signals the instrumented layers emit (core barriers, the checkpoint
+// controller, the fault planner, the profiler).
+const (
+	// EvSpanOpen / EvSpanClose bracket a complete span (Begin/End).
+	EvSpanOpen  = "span_open"
+	EvSpanClose = "span_close"
+	// EvInstant is a point occurrence (Tracer.Instant).
+	EvInstant = "instant"
+	// EvBarrier marks one group-barrier generation: the last arriver
+	// emits it the moment the barrier trips, with Gen = the generation
+	// just completed and Detail = the group name.
+	EvBarrier = "barrier"
+	// EvCkpt marks a sealed checkpoint: every member has contributed and
+	// the snapshot is durably saved. Gen is the commit generation.
+	EvCkpt = "ckpt"
+	// EvFault marks a fired fault-plan event (e.g. a scheduled core
+	// failure), emitted after its effects (kills) are applied.
+	EvFault = "fault"
+	// EvProfile carries the fleet-wide profiler category deltas
+	// accumulated since the previous EvProfile, emitted at each barrier
+	// generation while streaming.
+	EvProfile = "profile"
+)
+
+// Event is one streamed telemetry occurrence. Seq is assigned by the
+// emitting tracer and increases monotonically, so consumers can detect
+// ordering and resume. All times are virtual ticks: an event stream is
+// as deterministic as the simulation that produced it.
+type Event struct {
+	Seq    int64    `json:"seq"`
+	At     sim.Time `json:"at"`
+	Kind   string   `json:"kind"`
+	Proc   string   `json:"proc,omitempty"`
+	Cat    string   `json:"cat,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	Detail string   `json:"detail,omitempty"`
+	Span   SpanID   `json:"span,omitempty"`
+	Parent SpanID   `json:"parent,omitempty"`
+	Gen    int64    `json:"gen,omitempty"`
+}
+
+// StreamTo attaches (or, with nil, detaches) a bounded event channel.
+// Every subsequent span open/close/instant and every Emit is published
+// on it. Sends block when the channel is full: the consumer must drain
+// promptly (the serve layer runs a dedicated drainer goroutine).
+// Blocking is host-side backpressure only — it cannot perturb virtual
+// time, so a slow consumer changes nothing about the simulation's
+// results. No-op on a nil tracer.
+func (t *Tracer) StreamTo(ch chan<- Event) {
+	if t == nil {
+		return
+	}
+	t.stream = ch
+}
+
+// Streaming reports whether an event channel is attached. Instrumented
+// layers guard their event construction (which may format strings)
+// behind this, so a non-streaming tracer pays nothing extra.
+func (t *Tracer) Streaming() bool { return t != nil && t.stream != nil }
+
+// Emit publishes ev on the attached stream, assigning its sequence
+// number. No-op when no stream is attached (or on a nil tracer).
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.stream == nil {
+		return
+	}
+	t.seq++
+	ev.Seq = t.seq
+	t.stream <- ev
+}

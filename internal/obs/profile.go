@@ -72,8 +72,14 @@ type CatTimes [NumCategories]sim.Time
 type ProcProfile struct {
 	Name  string
 	Cats  CatTimes
-	Total sim.Time // set by Finish
+	Total sim.Time // accumulated by Finish
 	done  bool
+	// sealedAttr is the attributed sum at the last Finish. Profiles are
+	// found by process name, and short-lived nested groups (e.g. one
+	// reservation sub-group per itinerary) legitimately reuse a name
+	// across incarnations; sealing charges incrementally lets every
+	// incarnation's lifetime accumulate into one per-role profile.
+	sealedAttr sim.Time
 }
 
 // Charge attributes d ticks to category cat (no-op on nil or d ≤ 0).
@@ -143,9 +149,13 @@ func (p *ProcProfile) Attributed() sim.Time {
 	return sum
 }
 
-// Finish seals the profile with the process's measured wall (virtual)
-// time: CatOther becomes total − attributed, so the categories sum to
-// total exactly. Attribution beyond the total (impossible when the
+// Finish seals one incarnation of the profile with its measured wall
+// (virtual) time: the incarnation's unattributed remainder goes to
+// CatOther and total accumulates into Total, so the categories always
+// sum to Total exactly — across every incarnation of a reused process
+// name (short-lived nested groups legitimately recreate the same
+// member names, e.g. one reservation sub-group per itinerary).
+// Attribution beyond the incarnation's total (impossible when the
 // instrumented sections are non-overlapping) panics loudly rather
 // than silently distorting the table.
 func (p *ProcProfile) Finish(total sim.Time) {
@@ -153,11 +163,32 @@ func (p *ProcProfile) Finish(total sim.Time) {
 		return
 	}
 	attr := p.Attributed()
-	if attr > total {
-		panic(fmt.Sprintf("obs: profile %q attributed %d ticks > total %d", p.Name, attr, total))
+	incr := attr - p.sealedAttr
+	if incr > total {
+		panic(fmt.Sprintf("obs: profile %q attributed %d ticks > total %d (cats %v)", p.Name, incr, total, p.Cats))
 	}
-	p.Total = total
-	p.Cats[CatOther] = total - attr
+	p.Cats[CatOther] += total - incr
+	p.Total += total
+	p.sealedAttr = attr
+	p.done = true
+}
+
+// FinishInterrupted seals an incarnation of the profile of a process
+// that was forcibly killed. A kill can interrupt an instrumented
+// section after its charge but before the corresponding virtual time
+// elapsed, so attribution may legitimately exceed the elapsed total;
+// the profile keeps the charges as recorded (its categories may sum
+// to more than Total) rather than panicking like Finish.
+func (p *ProcProfile) FinishInterrupted(total sim.Time) {
+	if p == nil {
+		return
+	}
+	attr := p.Attributed()
+	if rem := total - (attr - p.sealedAttr); rem > 0 {
+		p.Cats[CatOther] += rem
+	}
+	p.Total += total
+	p.sealedAttr = attr
 	p.done = true
 }
 
@@ -213,6 +244,24 @@ func (pf *Profiler) Profiles() []*ProcProfile {
 		out = append(out, pf.procs[name])
 	}
 	return out
+}
+
+// Totals returns the per-category sum across every profile — the
+// fleet-wide attribution vector at this instant. Zero on a nil
+// profiler. Streaming publishes deltas of this vector at barrier
+// generations.
+func (pf *Profiler) Totals() CatTimes {
+	var tot CatTimes
+	if pf == nil {
+		return tot
+	}
+	for _, name := range pf.order {
+		p := pf.procs[name]
+		for c := Category(0); c < NumCategories; c++ {
+			tot[c] += p.Cats[c]
+		}
+	}
+	return tot
 }
 
 // Table renders the per-process breakdown: one row per process with

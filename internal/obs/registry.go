@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -51,8 +52,11 @@ type Label struct{ Key, Value string }
 // L is shorthand for building a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// sample is one labeled series within a family.
+// sample is one labeled series within a family. mu points at the
+// owning registry's lock, so a handle can synchronize its updates with
+// concurrent exposition without carrying the whole registry around.
 type sample struct {
+	mu     *sync.Mutex
 	labels []Label
 	val    float64
 	hist   *stats.Histogram
@@ -70,7 +74,15 @@ type family struct {
 // Registry holds metric families. The zero value is unusable; use
 // NewRegistry. A nil *Registry is a valid disabled registry: every
 // lookup returns a nil handle whose operations are no-ops.
+//
+// A Registry is safe for concurrent use: handle updates (Add, Set,
+// Observe, Reset), handle creation and the exposition methods
+// (WritePrometheus, WriteJSON) all serialize on one internal lock, so
+// a scrape taken while a simulation is publishing sees a consistent
+// point-in-time snapshot — never a half-applied update. The disabled
+// (nil) path takes no lock and stays allocation-free.
 type Registry struct {
+	mu    sync.Mutex
 	fams  map[string]*family
 	order []string
 }
@@ -102,7 +114,7 @@ func labelKey(labels []Label) string {
 	return b.String()
 }
 
-// lookup finds or creates the (family, sample) pair.
+// lookup finds or creates the (family, sample) pair. Callers hold r.mu.
 func (r *Registry) lookup(name, help string, typ MetricType, bounds []float64, labels []Label) *sample {
 	f := r.fams[name]
 	if f == nil {
@@ -118,7 +130,7 @@ func (r *Registry) lookup(name, help string, typ MetricType, bounds []float64, l
 	if s == nil {
 		ls := append([]Label(nil), labels...)
 		sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
-		s = &sample{labels: ls}
+		s = &sample{mu: &r.mu, labels: ls}
 		if typ == TypeHistogram {
 			s.hist = stats.NewHistogram(f.bounds)
 		}
@@ -137,6 +149,8 @@ func (r *Registry) Counter(name, help string, labels ...Label) Counter {
 	if r == nil {
 		return Counter{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return Counter{r.lookup(name, help, TypeCounter, nil, labels)}
 }
 
@@ -149,7 +163,9 @@ func (c Counter) Add(d float64) {
 	if d < 0 {
 		panic("obs: counter decremented")
 	}
+	c.s.mu.Lock()
 	c.s.val += d
+	c.s.mu.Unlock()
 }
 
 // Inc adds 1.
@@ -160,6 +176,8 @@ func (c Counter) Value() float64 {
 	if c.s == nil {
 		return 0
 	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
 	return c.s.val
 }
 
@@ -172,6 +190,8 @@ func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
 	if r == nil {
 		return Gauge{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return Gauge{r.lookup(name, help, TypeGauge, nil, labels)}
 }
 
@@ -180,7 +200,9 @@ func (g Gauge) Set(v float64) {
 	if g.s == nil {
 		return
 	}
+	g.s.mu.Lock()
 	g.s.val = v
+	g.s.mu.Unlock()
 }
 
 // Add adjusts the gauge by d.
@@ -188,7 +210,9 @@ func (g Gauge) Add(d float64) {
 	if g.s == nil {
 		return
 	}
+	g.s.mu.Lock()
 	g.s.val += d
+	g.s.mu.Unlock()
 }
 
 // Value returns the current value (0 when disabled).
@@ -196,6 +220,8 @@ func (g Gauge) Value() float64 {
 	if g.s == nil {
 		return 0
 	}
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
 	return g.s.val
 }
 
@@ -209,6 +235,8 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if r == nil {
 		return Histogram{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return Histogram{r.lookup(name, help, TypeHistogram, bounds, labels)}
 }
 
@@ -217,7 +245,9 @@ func (h Histogram) Observe(x float64) {
 	if h.s == nil {
 		return
 	}
+	h.s.mu.Lock()
 	h.s.hist.Observe(x)
+	h.s.mu.Unlock()
 }
 
 // Reset clears the histogram's observations, keeping its bounds — for
@@ -226,10 +256,15 @@ func (h Histogram) Reset() {
 	if h.s == nil {
 		return
 	}
+	h.s.mu.Lock()
 	h.s.hist.Reset()
+	h.s.mu.Unlock()
 }
 
-// Sketch returns the underlying histogram (nil when disabled).
+// Sketch returns the underlying histogram (nil when disabled). The
+// returned histogram is not synchronized — read it only after the
+// writers have quiesced (post-run analysis), or via the exposition
+// methods, which snapshot under the registry lock.
 func (h Histogram) Sketch() *stats.Histogram {
 	if h.s == nil {
 		return nil
@@ -269,11 +304,17 @@ func renderLabels(labels []Label, extra ...Label) string {
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WritePrometheus writes the registry in the Prometheus text
-// exposition format, families and series in deterministic order.
+// exposition format, families and series in deterministic order. The
+// whole write happens under the registry lock, so the scrape is a
+// consistent snapshot even while a simulation is publishing; pass a
+// buffer (not a slow network writer) when holding updates back
+// matters.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := append([]string(nil), r.order...)
 	sort.Strings(names)
 	for _, name := range names {
@@ -342,10 +383,12 @@ type jsonFamily struct {
 }
 
 // WriteJSON writes the registry as a JSON array of metric families in
-// deterministic order.
+// deterministic order. Like WritePrometheus, the snapshot is taken
+// under the registry lock and is consistent mid-run.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	out := []jsonFamily{}
 	if r != nil {
+		r.mu.Lock()
 		names := append([]string(nil), r.order...)
 		sort.Strings(names)
 		for _, name := range names {
@@ -365,8 +408,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				if f.typ == TypeHistogram {
 					js.Count = s.hist.N
 					js.Sum = s.hist.Sum
-					js.Bounds = s.hist.Bounds
-					js.Buckets = s.hist.Counts
+					// Copy the live slices: the encoder runs outside the
+					// lock, and the histogram may keep counting meanwhile.
+					js.Bounds = append([]float64(nil), s.hist.Bounds...)
+					js.Buckets = append([]int64(nil), s.hist.Counts...)
 					js.P50, js.P90, js.P99 = s.hist.P50(), s.hist.P90(), s.hist.P99()
 				} else {
 					js.Value = s.val
@@ -375,6 +420,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			}
 			out = append(out, jf)
 		}
+		r.mu.Unlock()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

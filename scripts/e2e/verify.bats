@@ -1,0 +1,26 @@
+#!/usr/bin/env bats
+# Black-box e2e suite for stampserve. Each @test wraps one assertion
+# from checks.sh so CI reports them individually; scripts/e2e/run.sh
+# boots the server and picks bats or the plain-bash fallback.
+
+load checks.sh
+
+@test "stampserve :: /healthz answers ok" {
+  check_healthz
+}
+
+@test "stampserve :: jacobi run streams one barrier event per generation" {
+  check_jacobi_barrier_stream
+}
+
+@test "stampserve :: experiment scenario completes with all checks passing" {
+  check_experiment_scenario
+}
+
+@test "stampserve :: /metrics exposes run and event aggregates" {
+  check_metrics_exposition
+}
+
+@test "stampserve :: identical spec resubmission replays byte-identically" {
+  check_cache_byte_identical
+}
