@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-smoke check fmt vet lint race ckpt-fuzz e2e
+.PHONY: all build test bench bench-smoke bench-allocgate check fmt vet lint race ckpt-fuzz e2e
 
 all: build
 
@@ -21,8 +21,20 @@ bench:
 
 # One iteration of every benchmark: catches benchmarks that fail or
 # regress catastrophically without paying for a full measurement run.
-bench-smoke:
+# Includes the churn allocation gate below.
+bench-smoke: bench-allocgate
 	$(GO) test -bench=. -benchtime=1x -count=1 ./... > /dev/null
+
+# Steady-state step-proc spawn→exit churn must be allocation-free: the
+# Proc record, its events and the carrier goroutine all recycle through
+# free lists. The gate fails on a nonzero allocs/op column (warm-up
+# allocations amortize to zero over 1000 iterations; the exact-zero
+# steady-state property is pinned by TestStepChurnZeroAllocSteadyState).
+bench-allocgate:
+	@out="$$($(GO) test -bench='^BenchmarkKernel_SpawnChurn$$' -benchmem -benchtime=1000x -run='^$$' -count=1 ./internal/sim/)"; \
+	echo "$$out" | grep 'BenchmarkKernel_SpawnChurn'; \
+	allocs="$$(echo "$$out" | awk '/^BenchmarkKernel_SpawnChurn/ {print $$(NF-1)}')"; \
+	if [ "$$allocs" != "0" ]; then echo "FAIL: Kernel_SpawnChurn reports $$allocs allocs/op, want 0"; exit 1; fi
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

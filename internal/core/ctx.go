@@ -67,6 +67,29 @@ type Ctx struct {
 	prof *obs.ProcProfile
 	// Open causal spans, innermost last: proc ⊃ unit ⊃ round.
 	procSpan, unitSpan, roundSpan obs.SpanID
+
+	// --- step-mode driver state (see step.go) ---------------------------
+	// These fields replace the stack locals a goroutine body keeps across
+	// blocking points: a step body returns to the kernel at every
+	// boundary, so everything that must survive a park lives here.
+	stepBody    func(*Ctx) Step // member body, consumed at first activation
+	stepInner   Step            // continuation to run on the next activation
+	stepDriveFn sim.StepFunc    // pre-bound (*Ctx).stepDrive, allocated once
+	// unitRoundsBefore replaces SUnit's roundsBefore local.
+	unitRoundsBefore int
+	// barBefore/stepAfterBar carry one in-progress StepBarrier; roundThen
+	// carries the continuation through StepRoundEnd's implicit barrier.
+	barBefore    sim.Time
+	stepAfterBar Step
+	roundThen    Step
+	// recvBuf is the pooled message buffer StepRecvN hands to its
+	// continuation; it is reused by the next StepRecvN, so callbacks must
+	// not retain it (the stamplint poolsafe check enforces this).
+	recvBuf  []msgpass.Message
+	recvSt   msgpass.StepRecvState
+	recvSpan obs.SpanID
+	recvNeed int
+	recvThen func([]msgpass.Message) Step
 }
 
 // RoundRec is the measured cost of one S-round of one process:
@@ -380,25 +403,39 @@ func (c *Ctx) SRound(fn func()) {
 // progress signal stampserve's event stream is built on.
 func (c *Ctx) barrierWait() {
 	before := c.Now()
-	tripped := c.g.bar.Await(c.p)
-	if tripped {
-		if tr := c.tracerSpans(); tr.Streaming() {
-			gen := c.g.bar.Generation()
-			now := c.p.Now()
-			tr.Emit(obs.Event{At: now, Kind: obs.EvBarrier, Proc: c.p.Name(),
-				Cat: "barrier", Name: "generation", Detail: c.g.name, Gen: gen})
-			if pf := c.sys.Obs.Profiler(); pf.Enabled() {
-				tot := pf.Totals()
-				delta := tot
-				for i := range delta {
-					delta[i] -= c.g.profPub[i]
-				}
-				c.g.profPub = tot
-				tr.Emit(obs.Event{At: now, Kind: obs.EvProfile, Proc: c.p.Name(),
-					Cat: "profile", Name: "delta", Detail: profileDeltaDetail(delta), Gen: gen})
-			}
-		}
+	if c.g.bar.Await(c.p) {
+		c.barrierTripped()
 	}
+	c.barrierFinish(before)
+}
+
+// barrierTripped publishes the completed barrier generation on a
+// streaming tracer. Shared by the goroutine path (barrierWait) and the
+// step path (StepBarrier); only the tripping arrival calls it.
+func (c *Ctx) barrierTripped() {
+	tr := c.tracerSpans()
+	if !tr.Streaming() {
+		return
+	}
+	gen := c.g.bar.Generation()
+	now := c.p.Now()
+	tr.Emit(obs.Event{At: now, Kind: obs.EvBarrier, Proc: c.p.Name(),
+		Cat: "barrier", Name: "generation", Detail: c.g.name, Gen: gen})
+	if pf := c.sys.Obs.Profiler(); pf.Enabled() {
+		tot := pf.Totals()
+		delta := tot
+		for i := range delta {
+			delta[i] -= c.g.profPub[i]
+		}
+		c.g.profPub = tot
+		tr.Emit(obs.Event{At: now, Kind: obs.EvProfile, Proc: c.p.Name(),
+			Cat: "profile", Name: "delta", Detail: profileDeltaDetail(delta), Gen: gen})
+	}
+}
+
+// barrierFinish attributes and records the barrier wait window that
+// started at before. Shared by both execution modes.
+func (c *Ctx) barrierFinish(before sim.Time) {
 	wait := c.Now() - before
 	if wait <= 0 {
 		return

@@ -63,6 +63,50 @@ func (sys *System) NewGroup(name string, attrs Attrs, n int, body func(ctx *Ctx)
 
 // NewGroupOpts is NewGroup with options.
 func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *Ctx), opts ...GroupOption) *Group {
+	g, order := sys.newGroupShell(name, attrs, n, opts)
+	for j := 0; j < n; j++ {
+		i := j
+		if order != nil {
+			i = order[j]
+		}
+		ctx := g.ctxs[i]
+		pname := fmt.Sprintf("%s/%d", name, i)
+		ctx.p = sys.K.Spawn(pname, func(p *sim.Proc) {
+			ctx.start = p.Now()
+			if s := ctx.restoreSnap; s != nil {
+				ctx.restoreSnap = nil
+				ctx.applyRestore(s)
+			}
+			if tr := sys.Obs.Tracer(); tr.Enabled() {
+				ctx.procSpan = tr.Begin(ctx.start, pname, "proc", pname, 0)
+			}
+			defer func() {
+				ctx.flush() // body may end with batched compute pending
+				ctx.end = p.Now()
+				sys.Obs.Tracer().End(ctx.procSpan, ctx.end)
+				if p.Killed() {
+					// A kill interrupts instrumented sections mid-flight:
+					// charges may exceed the elapsed total, so seal leniently.
+					ctx.prof.FinishInterrupted(ctx.end - ctx.start)
+				} else {
+					ctx.prof.Finish(ctx.end - ctx.start)
+				}
+				sys.M.Release(ctx.thread)
+			}()
+			body(ctx)
+		})
+		ctx.p.Ctx = ctx
+	}
+	sys.groups = append(sys.groups, g)
+	return g
+}
+
+// newGroupShell validates options, builds the group and its member
+// contexts, and returns the spawn order (nil = rank order). The spawn
+// loop itself differs by execution mode — goroutine bodies in
+// NewGroupOpts, step drivers in NewStepGroupOpts — and runs in the
+// caller.
+func (sys *System) newGroupShell(name string, attrs Attrs, n int, opts []GroupOption) (*Group, []int) {
 	if n < 1 {
 		panic("core: group needs at least one process")
 	}
@@ -103,9 +147,9 @@ func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *
 	// Contexts, mailboxes, profiles and thread bindings are created in
 	// rank order regardless of start order, so member coordinates
 	// (endpoint indices, profile names) are identical however the group
-	// is later restored. Only the spawn loop below follows the start
-	// order: spawn order fixes the kernel's event-sequence assignment
-	// and with it the FIFO tie-breaking of same-instant activations.
+	// is later restored. Only the spawn loop follows the start order:
+	// spawn order fixes the kernel's event-sequence assignment and with
+	// it the FIFO tie-breaking of same-instant activations.
 	g.ctxs = make([]*Ctx, n)
 	for i := 0; i < n; i++ {
 		pname := fmt.Sprintf("%s/%d", name, i)
@@ -115,41 +159,7 @@ func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *
 		sys.M.Bind(pl[i])
 		g.ctxs[i] = ctx
 	}
-	for j := 0; j < n; j++ {
-		i := j
-		if order != nil {
-			i = order[j]
-		}
-		ctx := g.ctxs[i]
-		pname := fmt.Sprintf("%s/%d", name, i)
-		ctx.p = sys.K.Spawn(pname, func(p *sim.Proc) {
-			ctx.start = p.Now()
-			if s := ctx.restoreSnap; s != nil {
-				ctx.restoreSnap = nil
-				ctx.applyRestore(s)
-			}
-			if tr := sys.Obs.Tracer(); tr.Enabled() {
-				ctx.procSpan = tr.Begin(ctx.start, pname, "proc", pname, 0)
-			}
-			defer func() {
-				ctx.flush() // body may end with batched compute pending
-				ctx.end = p.Now()
-				sys.Obs.Tracer().End(ctx.procSpan, ctx.end)
-				if p.Killed() {
-					// A kill interrupts instrumented sections mid-flight:
-					// charges may exceed the elapsed total, so seal leniently.
-					ctx.prof.FinishInterrupted(ctx.end - ctx.start)
-				} else {
-					ctx.prof.Finish(ctx.end - ctx.start)
-				}
-				sys.M.Release(ctx.thread)
-			}()
-			body(ctx)
-		})
-		ctx.p.Ctx = ctx
-	}
-	sys.groups = append(sys.groups, g)
-	return g
+	return g, order
 }
 
 // Name returns the group name.

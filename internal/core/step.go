@@ -1,0 +1,293 @@
+// Step-machine execution of STAMP process bodies.
+//
+// A goroutine body blocks by parking its goroutine; its stack is the
+// continuation. A step body is the same program turned inside out: each
+// Step runs straight-line code to the next blocking point and returns
+// the continuation explicitly, so the kernel resumes the member by
+// calling a function instead of unparking a goroutine — no stack, no
+// channel handoff, no per-member goroutine (see sim.Kernel.SpawnStep).
+//
+// The combinators below (StepBarrier, StepUnitBegin/End,
+// StepRoundBegin/End, StepRecvN) are the boundary-park counterparts of
+// Barrier, SUnit, SRound and RecvN. Each performs the identical
+// charges, trace events and spans in the identical order, so a step
+// driver that mirrors its goroutine body produces a bit-identical
+// simulation — the property the step-vs-goroutine golden tests pin.
+// Blocking calls that have no Step* counterpart (Recv, Atomically,
+// memory operations, a parking Hold) remain usable inside a step: they
+// park the activation's carrier goroutine mid-step, which is slower
+// than a boundary park but observationally the same.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/msgpass"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Step is one activation of a step-machine process body: straight-line
+// code to the next blocking point. It returns the continuation to run
+// when the process next resumes, or nil when the body is done.
+type Step func(c *Ctx) Step
+
+// GoroutineBodies forces applications that support both execution modes
+// (jacobi, apsp) to spawn classic goroutine bodies instead of step
+// drivers. Step mode is the default; the flag exists so equivalence
+// tests can run the same workload both ways and compare outputs
+// bit-for-bit, and as an escape hatch while debugging a driver.
+var GoroutineBodies bool
+
+// NewStepGroup is NewGroup for step-machine bodies: body is called once
+// per member at first activation to build the member's state and
+// return its first Step.
+func (sys *System) NewStepGroup(name string, attrs Attrs, n int, body func(ctx *Ctx) Step) *Group {
+	return sys.NewStepGroupOpts(name, attrs, n, body)
+}
+
+// NewStepGroupOpts is NewStepGroup with options. Group construction,
+// placement, restore staging and member coordinates are identical to
+// NewGroupOpts; only the kernel spawn differs (SpawnStep instead of
+// Spawn). Member Proc records are pinned — contexts, fault plans and
+// reports retain them past completion — so step groups trade the
+// free-list recycling of raw SpawnStep for its other wins: no
+// per-member goroutine and no stack while parked at a boundary.
+func (sys *System) NewStepGroupOpts(name string, attrs Attrs, n int, body func(ctx *Ctx) Step, opts ...GroupOption) *Group {
+	g, order := sys.newGroupShell(name, attrs, n, opts)
+	for j := 0; j < n; j++ {
+		i := j
+		if order != nil {
+			i = order[j]
+		}
+		ctx := g.ctxs[i]
+		ctx.stepBody = body
+		ctx.stepDriveFn = ctx.stepDrive
+		pname := fmt.Sprintf("%s/%d", name, i)
+		ctx.p = sys.K.SpawnStep(pname, ctx.stepBegin)
+		ctx.p.Ctx = ctx
+		ctx.p.Pin()
+		ctx.p.Defer(ctx.stepEpilogue)
+	}
+	sys.groups = append(sys.groups, g)
+	return g
+}
+
+// stepBegin is the member's first activation: the step-mode analog of
+// the prologue NewGroupOpts wraps around a goroutine body (restore
+// staging, proc span), followed by the body builder.
+func (c *Ctx) stepBegin(p *sim.Proc) sim.StepFunc {
+	c.start = p.Now()
+	if s := c.restoreSnap; s != nil {
+		c.restoreSnap = nil
+		c.applyRestore(s)
+	}
+	if tr := c.sys.Obs.Tracer(); tr.Enabled() {
+		c.procSpan = tr.Begin(c.start, p.Name(), "proc", p.Name(), 0)
+	}
+	body := c.stepBody
+	c.stepBody = nil
+	if c.stepInner = body(c); c.stepInner == nil {
+		return nil
+	}
+	return c.stepDriveFn
+}
+
+// stepDrive adapts the core-level Step chain to the kernel's StepFunc
+// trampoline: run one inner Step, stash its continuation, and hand the
+// same pre-bound adapter back. The kernel calls it again immediately if
+// the Step didn't park, so a chain of non-blocking Steps runs
+// back-to-back within one activation burst.
+func (c *Ctx) stepDrive(p *sim.Proc) sim.StepFunc {
+	next := c.stepInner(c)
+	if next == nil {
+		return nil
+	}
+	c.stepInner = next
+	return c.stepDriveFn
+}
+
+// stepEpilogue is the member's finalizer (sim.Proc.Defer): the exact
+// deferred epilogue a goroutine body runs, executed on normal
+// completion, kill, and teardown alike.
+func (c *Ctx) stepEpilogue(p *sim.Proc) {
+	c.flush() // body may end with batched compute pending
+	c.end = p.Now()
+	c.sys.Obs.Tracer().End(c.procSpan, c.end)
+	if p.Killed() {
+		// A kill interrupts instrumented sections mid-flight: charges
+		// may exceed the elapsed total, so seal leniently.
+		c.prof.FinishInterrupted(c.end - c.start)
+	} else {
+		c.prof.Finish(c.end - c.start)
+	}
+	c.sys.M.Release(c.thread)
+}
+
+// --- barrier ---------------------------------------------------------
+
+// StepBarrier arrives at the group barrier and returns the Step to run
+// next: then directly for the tripping arrival (which releases the
+// group and continues inline, exactly like Await), or a resume shim
+// that completes the wait accounting when the barrier trips. The
+// boundary-park counterpart of Barrier.
+func (c *Ctx) StepBarrier(then Step) Step {
+	if c.g.n <= 1 {
+		return then
+	}
+	before := c.Now()
+	if c.g.bar.StepAwait(c.p) {
+		c.barrierTripped()
+		c.barrierFinish(before)
+		return then
+	}
+	c.barBefore = before
+	c.stepAfterBar = then
+	return stepBarrierResumeFn
+}
+
+var stepBarrierResumeFn Step = stepBarrierResume
+
+func stepBarrierResume(c *Ctx) Step {
+	then := c.stepAfterBar
+	c.stepAfterBar = nil
+	c.barrierFinish(c.barBefore)
+	return then
+}
+
+// --- S-unit / S-round ------------------------------------------------
+
+// StepUnitBegin opens an S-unit: the prologue of SUnit, split off so a
+// step body can park inside the unit. Close with StepUnitEnd.
+func (c *Ctx) StepUnitBegin() {
+	if c.inUnit {
+		panic("core: S-units may not nest (an S-unit is a minimal sequential process)")
+	}
+	c.inUnit = true
+	c.unitStart = c.Now()
+	c.unitBase = c.c
+	c.traceEvent(trace.UnitStart, fmt.Sprintf("unit %d", c.unit))
+	if tr := c.tracerSpans(); tr.Enabled() {
+		c.unitSpan = tr.Begin(c.unitStart, c.p.Name(), "unit", fmt.Sprintf("unit %d", c.unit), c.procSpan)
+	}
+	c.unitRoundsBefore = len(c.rounds)
+}
+
+// StepUnitEnd closes the S-unit opened by StepUnitBegin: the epilogue
+// of SUnit, recording the unit's measured window and operation deltas.
+func (c *Ctx) StepUnitEnd() {
+	rec := UnitRec{
+		Index:  c.unit,
+		Start:  c.unitStart,
+		End:    c.Now(),
+		Rounds: len(c.rounds) - c.unitRoundsBefore,
+	}
+	rec.Ops = c.c
+	rec.Ops.SubFrom(c.unitBase)
+	c.units = append(c.units, rec)
+	c.traceEvent(trace.UnitEnd, fmt.Sprintf("unit %d", c.unit))
+	c.tracerSpans().End(c.unitSpan, rec.End)
+	c.unitSpan = 0
+	c.unit++
+	c.inUnit = false
+}
+
+// StepRoundBegin opens an S-round: the prologue of SRound. Close with
+// StepRoundEnd, which also performs the synch_comm barrier.
+func (c *Ctx) StepRoundBegin() {
+	if c.inRound {
+		panic("core: S-rounds may not nest")
+	}
+	c.inRound = true
+	c.roundStart = c.Now()
+	c.roundBase = c.c
+	c.traceEvent(trace.RoundStart, fmt.Sprintf("round %d", c.round))
+	if tr := c.tracerSpans(); tr.Enabled() {
+		parent := c.unitSpan
+		if parent == 0 {
+			parent = c.procSpan
+		}
+		c.roundSpan = tr.Begin(c.roundStart, c.p.Name(), "round", fmt.Sprintf("round %d", c.round), parent)
+	}
+}
+
+// StepRoundEnd closes the S-round opened by StepRoundBegin and returns
+// the Step to run next. Under synch_comm the group barriers first —
+// the round's implicit barrier, included in its measured time exactly
+// as in SRound — and the round record is sealed when the barrier
+// releases.
+func (c *Ctx) StepRoundEnd(then Step) Step {
+	if c.g.attrs.Comm == SynchComm && c.g.n > 1 {
+		c.roundThen = then
+		return c.StepBarrier(stepRoundSealFn)
+	}
+	return c.stepRoundSeal(then)
+}
+
+var stepRoundSealFn Step = func(c *Ctx) Step {
+	then := c.roundThen
+	c.roundThen = nil
+	return c.stepRoundSeal(then)
+}
+
+// stepRoundSeal is SRound's epilogue: record, trace, close the span,
+// advance the round index.
+func (c *Ctx) stepRoundSeal(then Step) Step {
+	rec := RoundRec{
+		Unit:  c.unit,
+		Round: c.round,
+		Start: c.roundStart,
+		End:   c.Now(),
+	}
+	rec.Ops = c.c
+	rec.Ops.SubFrom(c.roundBase)
+	c.rounds = append(c.rounds, rec)
+	c.traceEvent(trace.RoundEnd, fmt.Sprintf("round %d", c.round))
+	c.tracerSpans().End(c.roundSpan, rec.End)
+	c.roundSpan = 0
+	c.round++
+	c.inRound = false
+	return then
+}
+
+// --- communication ---------------------------------------------------
+
+// StepRecvN receives exactly n messages, parking at an activation
+// boundary whenever the inbox is empty, then runs then with the
+// received batch. The boundary-park counterpart of RecvN, with one
+// deliberate difference: the message slice is a per-member pooled
+// buffer, valid only until the callback returns. Callbacks must copy
+// what they keep — retaining the slice (or a subslice) sees it
+// overwritten by the next StepRecvN; the stamplint poolsafe check
+// flags such escapes.
+func (c *Ctx) StepRecvN(n int, then func(ms []msgpass.Message) Step) Step {
+	if tr := c.tracerSpans(); tr.Enabled() {
+		c.recvSpan = tr.Begin(c.Now(), c.p.Name(), "msg", "recv", c.spanParent())
+	} else {
+		c.recvSpan = 0
+	}
+	c.recvNeed = n
+	c.recvThen = then
+	c.recvBuf = c.recvBuf[:0]
+	c.recvSt = msgpass.StepRecvState{}
+	return stepRecvLoop(c)
+}
+
+var stepRecvLoopFn Step
+
+func init() { stepRecvLoopFn = stepRecvLoop }
+
+func stepRecvLoop(c *Ctx) Step {
+	for len(c.recvBuf) < c.recvNeed {
+		m, ok := c.ep.StepRecv(c, &c.recvSt)
+		if !ok {
+			return stepRecvLoopFn // enrolled on the receive queue; resume here
+		}
+		c.recvBuf = append(c.recvBuf, m)
+	}
+	c.tracerSpans().End(c.recvSpan, c.Now())
+	c.recvSpan = 0
+	then := c.recvThen
+	c.recvThen = nil
+	return then(c.recvBuf)
+}

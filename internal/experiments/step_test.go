@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The experiment goldens were pinned with goroutine-mode process
+// bodies; jacobi and apsp now default to step-machine drivers
+// (core.GoroutineBodies=false), so TestGoldenOutputs already proves
+// step mode bit-identical. The tests here close the equivalence from
+// the other side and across host parallelism.
+
+// TestGoldenOutputsGoroutineMode runs the whole suite with goroutine
+// bodies forced and compares against the same goldens: both execution
+// modes of every app must render byte-identical results.
+func TestGoldenOutputsGoroutineMode(t *testing.T) {
+	core.GoroutineBodies = true
+	defer func() { core.GoroutineBodies = false }()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(id))
+			if err != nil {
+				t.Fatalf("missing golden for %s: %v", id, err)
+			}
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.String(); got != string(want) {
+				t.Fatalf("goroutine-mode %s diverged from golden\n--- got ---\n%s\n--- want ---\n%s",
+					id, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenOutputsStepWorkers pins step-mode determinism against host
+// parallelism: the full suite through the parallel harness at 1, 2 and
+// 4 workers must reproduce every golden byte-for-byte. Step procs run
+// their activations on pooled carrier goroutines, so this exercises
+// carrier reuse under real host-scheduler interleavings.
+func TestGoldenOutputsStepWorkers(t *testing.T) {
+	ids := IDs()
+	for _, workers := range []int{1, 2, 4} {
+		results := RunAllParallel(workers)
+		if len(results) != len(ids) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(results), len(ids))
+		}
+		for _, res := range results {
+			want, err := os.ReadFile(goldenPath(res.ID))
+			if err != nil {
+				t.Fatalf("missing golden for %s: %v", res.ID, err)
+			}
+			if got := res.String(); got != string(want) {
+				t.Fatalf("workers=%d: %s diverged from golden", workers, res.ID)
+			}
+		}
+	}
+}

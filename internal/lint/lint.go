@@ -16,7 +16,11 @@
 //     structural grammar);
 //   - ckptsafe: no region element types the checkpoint layer cannot
 //     serialize (raw pointers, funcs, channels, interfaces) — they
-//     would fail at snapshot time, far from the allocation.
+//     would fail at snapshot time, far from the allocation;
+//   - poolsafe: no escapes of the pooled receive batch a StepRecvN
+//     callback is handed — the slice is overwritten by the next
+//     receive, so retaining it (or a pointer into it) reads stale
+//     messages later, far from the callback that leaked it.
 //
 // A finding is silenced, one site at a time, with an annotation on the
 // same or the preceding line:
@@ -59,6 +63,7 @@ func Analyzers() []*Analyzer {
 		Backdoor(),
 		SRound(),
 		Ckptsafe(),
+		Poolsafe(),
 	}
 }
 

@@ -31,6 +31,14 @@ type System struct{}
 
 func (s *System) NewGroup(name string, a Attrs, n int, body func(*Ctx)) *Group { return &Group{} }
 `,
+	"internal/msgpass/msgpass.go": `package msgpass
+
+type Message struct {
+	From    any
+	Payload any
+}
+`,
+
 	"internal/memory/memory.go": `package memory
 
 type Region struct{ vals []int64 }
@@ -107,6 +115,44 @@ func Walk(m map[int]int) int {
 		s += v
 	}
 	return s
+}
+`,
+
+	// Poolsafe call sites: escapes of a pooled receive batch.
+	"steps/steps.go": `package steps
+
+import "repro/internal/msgpass"
+
+var stash []msgpass.Message
+var batches [][]msgpass.Message
+var first *msgpass.Message
+
+type holder struct {
+	ms   []msgpass.Message
+	last msgpass.Message
+}
+
+func Leaky(h *holder, ms []msgpass.Message) {
+	stash = ms                    // finding: poolsafe (outer var)
+	h.ms = ms[1:]                 // finding: poolsafe (field store)
+	first = &ms[0]                // finding: poolsafe (element pointer)
+	batches = append(batches, ms) // finding: poolsafe (slice-header append)
+	go func() { _ = ms[0] }()     // finding: poolsafe (closure capture)
+}
+
+func Clean(h *holder, ms []msgpass.Message) {
+	h.last = ms[0]                   // fine: value copy
+	stash = append(stash[:0], ms...) // fine: element copies
+	local := ms                      // fine: local alias
+	for _, m := range local {
+		h.last = m
+	}
+	_ = len(ms)
+}
+
+func Allowed(ms []msgpass.Message) {
+	//stamplint:allow poolsafe: batch fully consumed before returning
+	stash = ms
 }
 `,
 
@@ -248,6 +294,11 @@ func TestFixtureFindings(t *testing.T) {
 		{"ckptsafe", "use/use.go:61"},             // pointer element
 		{"ckptsafe", "use/use.go:62"},             // func element
 		{"ckptsafe", "use/use.go:63"},             // interface element
+		{"poolsafe", "steps/steps.go:15"},         // batch to outer var
+		{"poolsafe", "steps/steps.go:16"},         // subslice through field
+		{"poolsafe", "steps/steps.go:17"},         // element pointer escape
+		{"poolsafe", "steps/steps.go:18"},         // slice-header append
+		{"poolsafe", "steps/steps.go:19"},         // closure capture
 	}
 	for _, w := range want {
 		if !has(res, w.check, w.site) {
@@ -276,7 +327,7 @@ func TestFixtureSuppressionAndCounts(t *testing.T) {
 		}
 	}
 
-	// The three well-formed, load-bearing annotations must be counted
+	// The four well-formed, load-bearing annotations must be counted
 	// and marked used; the three broken ones counted but not used.
 	var used, total int
 	for _, a := range res.Annotations {
@@ -285,10 +336,10 @@ func TestFixtureSuppressionAndCounts(t *testing.T) {
 			used++
 		}
 	}
-	if total != 6 {
-		t.Errorf("counted %d annotations, want 6", total)
+	if total != 7 {
+		t.Errorf("counted %d annotations, want 7", total)
 	}
-	if used != 3 {
-		t.Errorf("%d annotations marked used, want 3 (AllowedWalk maprange + Seed backdoor + Regions ckptsafe)", used)
+	if used != 4 {
+		t.Errorf("%d annotations marked used, want 4 (AllowedWalk maprange + Seed backdoor + Regions ckptsafe + Allowed poolsafe)", used)
 	}
 }

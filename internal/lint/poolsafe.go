@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolsafe flags escapes of the pooled receive batch. StepRecvN hands
+// its callback a per-member pooled []msgpass.Message buffer that is
+// overwritten by the next receive; the slice — and any view sharing
+// its backing array (a subslice, a pointer into it) — is valid only
+// until the callback returns. Copying a Message value (or its Payload)
+// out of the batch is safe and is the intended idiom; what must not
+// happen is the slice header or an element pointer outliving the
+// callback.
+//
+// The analysis is intra-procedural over every function (declaration or
+// literal) with a []msgpass.Message parameter outside the
+// implementation packages: the parameter is tainted, taint propagates
+// through aliases, subslices, element pointers and slice-header
+// appends, and a finding is reported when a tainted value is assigned
+// to a variable declared outside the function, stored through a
+// selector or index (a field or container that may outlive the call),
+// or captured by a nested function literal (which may run after the
+// buffer is reused). Plain element reads (ms[i]), ranges and
+// value-copying appends (append(dst, ms...)) launder the taint — they
+// copy Message values, which are not pooled.
+func Poolsafe() *Analyzer {
+	return &Analyzer{
+		Name: "poolsafe",
+		Doc:  "flag pooled receive-batch slices escaping the StepRecvN callback",
+		Run: func(p *Pkg) []Finding {
+			switch p.Path {
+			case "repro/internal/core", "repro/internal/msgpass":
+				return nil // the pooling implementation itself
+			}
+			var out []Finding
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						if fn.Body != nil {
+							out = append(out, poolsafeFunc(p, fn.Type, fn.Body, fn.Pos(), fn.End())...)
+						}
+					case *ast.FuncLit:
+						out = append(out, poolsafeFunc(p, fn.Type, fn.Body, fn.Pos(), fn.End())...)
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// messageSlice reports whether t is []msgpass.Message.
+func messageSlice(t types.Type) bool {
+	sl, ok := types.Unalias(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(sl.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Message" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/msgpass"
+}
+
+// poolsafeFunc checks one function whose parameter list may include a
+// pooled batch. start/end delimit the whole function (parameters
+// included), so "declared outside" means outside the callback.
+func poolsafeFunc(p *Pkg, ft *ast.FuncType, body *ast.BlockStmt, start, end token.Pos) []Finding {
+	tainted := map[types.Object]bool{}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil && messageSlice(obj.Type()) {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return nil
+	}
+	w := &poolsafeWalk{p: p, tainted: tainted, start: start, end: end}
+	w.block(body)
+	return w.out
+}
+
+type poolsafeWalk struct {
+	p          *Pkg
+	tainted    map[types.Object]bool
+	start, end token.Pos
+	out        []Finding
+}
+
+func (w *poolsafeWalk) finding(pos token.Pos, msg string) {
+	w.out = append(w.out, Finding{
+		Pos:     w.p.Fset.Position(pos),
+		Check:   "poolsafe",
+		Message: msg,
+	})
+}
+
+// block walks statements in syntactic order so taint introduced by one
+// statement is visible to the next.
+func (w *poolsafeWalk) block(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(s)
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) && w.taintedExpr(s.Values[i]) {
+					w.taintIdent(name, s.Values[i].Pos())
+				}
+			}
+		case *ast.FuncLit:
+			// A nested literal runs later — by then the batch may have
+			// been overwritten. Any use of a tainted variable inside it
+			// is a capture, not a copy.
+			w.captures(s)
+			return false // its own assignments are checked via captures
+		}
+		return true
+	})
+}
+
+// assign applies the taint/escape rules to one assignment.
+func (w *poolsafeWalk) assign(s *ast.AssignStmt) {
+	// Parallel assignment only pairs up when counts match; the
+	// multi-value forms (x, ok := f()) cannot produce a tainted RHS
+	// here because call results are not tracked.
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		if !w.taintedExpr(rhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(s.Lhs[i]).(type) {
+		case *ast.Ident:
+			w.taintIdent(lhs, rhs.Pos())
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			w.finding(rhs.Pos(),
+				"pooled receive batch stored through "+exprKind(lhs)+" — it is overwritten by the next StepRecvN; copy the messages you keep")
+		}
+	}
+}
+
+// taintIdent marks a local as tainted, or reports an escape when the
+// identifier resolves outside the callback.
+func (w *poolsafeWalk) taintIdent(id *ast.Ident, at token.Pos) {
+	if id.Name == "_" {
+		return
+	}
+	obj := w.p.Info.Defs[id]
+	if obj == nil {
+		obj = w.p.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if obj.Pos() < w.start || obj.Pos() > w.end {
+		w.finding(at,
+			"pooled receive batch assigned to "+id.Name+", declared outside the callback — it is overwritten by the next StepRecvN; copy the messages you keep")
+		return
+	}
+	w.tainted[obj] = true
+}
+
+// captures reports tainted variables referenced inside a nested
+// function literal.
+func (w *poolsafeWalk) captures(lit *ast.FuncLit) {
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := w.p.Info.Uses[id]; obj != nil && w.tainted[obj] {
+			w.finding(id.Pos(),
+				"pooled receive batch captured by a nested function — it may run after the next StepRecvN overwrites the buffer; copy the messages you keep")
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e evaluates to a view of the pooled
+// batch: the batch itself, an alias, a subslice, a pointer to an
+// element, or an append that keeps the slice header alive. ms[i]
+// (a Message value copy) and append(dst, ms...) (element copies) are
+// deliberately clean.
+func (w *poolsafeWalk) taintedExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.p.Info.Uses[x]
+		return obj != nil && w.tainted[obj]
+	case *ast.SliceExpr:
+		return w.taintedExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		if idx, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok {
+			return w.taintedExpr(idx.X)
+		}
+		return false
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return false
+		}
+		if _, isBuiltin := w.p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false // only the builtin append propagates
+		}
+		for i, arg := range x.Args {
+			if i > 0 && x.Ellipsis.IsValid() && i == len(x.Args)-1 {
+				continue // append(dst, ms...) copies the elements
+			}
+			if w.taintedExpr(arg) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// exprKind names an escape target for the finding message.
+func exprKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.SelectorExpr:
+		return "a field"
+	case *ast.IndexExpr:
+		return "an indexed element"
+	}
+	return "a reference"
+}

@@ -128,6 +128,11 @@ type Network struct {
 	duplicated int64
 	delayed    int64
 	faultDelay sim.Time // summed extra latency of delayed messages
+
+	// freeDeliveries recycles in-flight delivery records (see
+	// deliverAt): at steady state a send schedules its arrival without
+	// allocating a closure or a boxed Message.
+	freeDeliveries []*delivery
 }
 
 // New creates the network for machine m.
@@ -306,24 +311,57 @@ func (e *Endpoint) SendSync(a Agent, dst *Endpoint, payload any) {
 	}
 }
 
+// delivery is one scheduled in-flight message. Records are pooled on
+// the network (freeDeliveries) and their kernel callback (run) is
+// bound once at creation, so a steady-state send schedules its arrival
+// with no per-message allocation — the closure the callback used to be
+// cost one closure plus a boxed Message copy per send.
+type delivery struct {
+	n   *Network
+	dst *Endpoint
+	m   Message
+	tok uint64
+	run func() // d.deliver, bound once; reused across recycles
+}
+
+// deliver lands the message: it returns the record to the pool first
+// (nothing below can schedule a new delivery synchronously), then
+// appends to the inbox and wakes a blocked receiver.
+func (d *delivery) deliver() {
+	n, dst, m, tok := d.n, d.dst, d.m, d.tok
+	d.dst, d.m, d.tok = nil, Message{}, 0
+	n.freeDeliveries = append(n.freeDeliveries, d)
+
+	k := n.m.K
+	m.Arrived = k.Now()
+	dst.inbox = append(dst.inbox, m)
+	if len(dst.inbox) > n.maxInbox {
+		n.maxInbox = len(dst.inbox)
+	}
+	n.delivered++
+	if tok != 0 {
+		n.recorder.Land(tok)
+	}
+	dst.rq.Signal(k)
+}
+
 // deliverAt schedules the arrival of m at dst after delay.
 func (n *Network) deliverAt(k *sim.Kernel, dst *Endpoint, m Message, delay sim.Time) {
 	var tok uint64
 	if n.recorder != nil {
 		tok = n.recorder.Depart(dst, &m, k.Now()+delay)
 	}
-	k.Schedule(delay, func() {
-		m.Arrived = k.Now()
-		dst.inbox = append(dst.inbox, m)
-		if len(dst.inbox) > n.maxInbox {
-			n.maxInbox = len(dst.inbox)
-		}
-		n.delivered++
-		if tok != 0 {
-			n.recorder.Land(tok)
-		}
-		dst.rq.Signal(k)
-	})
+	var d *delivery
+	if l := len(n.freeDeliveries); l > 0 {
+		d = n.freeDeliveries[l-1]
+		n.freeDeliveries[l-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:l-1]
+	} else {
+		d = &delivery{n: n}
+		d.run = d.deliver
+	}
+	d.dst, d.m, d.tok = dst, m, tok
+	k.Schedule(delay, d.run)
 }
 
 // InboxMessage is a Message with its sender pointer replaced by the
@@ -433,6 +471,45 @@ func (e *Endpoint) Recv(a Agent) Message {
 		a.Counters().QueueWait += p.Now() - before
 	}
 	return e.take(a, p, t0)
+}
+
+// StepRecvState carries one in-progress step-mode receive across
+// activation boundaries (the locals Recv keeps on its stack). The zero
+// value begins a fresh receive; a completed StepRecv resets it.
+type StepRecvState struct {
+	t0      sim.Time
+	before  sim.Time
+	began   bool
+	waiting bool
+}
+
+// StepRecv is Recv for step-proc activations: when a message is
+// available it dequeues and charges exactly as Recv does and returns
+// ok=true; when the inbox is empty it enrolls the proc on the receive
+// queue at an activation boundary and returns ok=false — the
+// activation must return its continuation and call StepRecv again (with
+// the same state) when it resumes. Wait-time accounting, re-waits
+// after a lost race for the message, and the dispatch order are all
+// identical to a goroutine proc blocking in Recv.
+func (e *Endpoint) StepRecv(a Agent, st *StepRecvState) (Message, bool) {
+	p := a.Proc()
+	if !st.began {
+		st.began = true
+		st.t0 = p.Now()
+	}
+	if st.waiting {
+		st.waiting = false
+		a.Counters().QueueWait += p.Now() - st.before
+	}
+	if len(e.inbox) == 0 {
+		st.before = p.Now()
+		st.waiting = true
+		e.rq.Enroll(p)
+		return Message{}, false
+	}
+	m := e.take(a, p, st.t0)
+	st.began = false
+	return m, true
 }
 
 // RecvTimeout is Recv with a deadline: it blocks until a message is

@@ -48,10 +48,8 @@ func TestDeadlockUnwindsParkedGoroutines(t *testing.T) {
 	if defersRan != 8 {
 		t.Fatalf("deferred functions ran on %d of 8 unwound procs", defersRan)
 	}
-	for _, p := range k.Procs() {
-		if !p.Done() {
-			t.Fatalf("proc %s not retired after teardown", p.Name())
-		}
+	if live := k.Procs(); len(live) != 0 {
+		t.Fatalf("%d procs still live after teardown, want 0", len(live))
 	}
 	waitGoroutines(t, base)
 }

@@ -1,12 +1,17 @@
 // Package sim implements a deterministic discrete-event simulation kernel.
 //
-// Simulated processes are goroutines, but the kernel enforces strictly
-// sequential execution: at any instant exactly one goroutine runs, with
-// control transferred by direct channel handoff. The dispatch loop is
-// not pinned to a kernel goroutine — it is a baton: the goroutine that
-// parks runs the loop itself and resumes the next runnable process
-// directly, so a park costs one goroutine switch, not two, and costs
-// none at all when the next runnable process is the parker itself.
+// Simulated processes execute in one of two modes. Goroutine procs
+// (Spawn) run arbitrary blocking Go code on a goroutine of their own;
+// step procs (SpawnStep) are resumable state machines executed on
+// pooled carrier goroutines with no stack of their own (see step.go).
+// Either way the kernel enforces strictly sequential execution: at any
+// instant exactly one goroutine runs, with control transferred by
+// direct channel handoff. The dispatch loop is not pinned to a kernel
+// goroutine — it is a baton: the goroutine that parks runs the loop
+// itself and resumes the next runnable process directly, so a park
+// costs one goroutine switch, not two, and costs none at all when the
+// next runnable process is the parker itself (or, for step procs, a
+// step activation the same carrier can run in place).
 // Virtual time is an int64 tick counter; events are dispatched in
 // (time, sequence) order, so every run of the same program is
 // bit-for-bit reproducible regardless of host scheduling.
@@ -55,7 +60,13 @@ type Kernel struct {
 	seq    int64
 	events eventHeap
 
-	procs   []*Proc
+	// Live processes form an intrusive doubly-linked list in spawn
+	// order (Proc.prevLive/nextLive). Finished procs leave the list, so
+	// kernel memory is O(live procs), not O(procs ever spawned) — the
+	// property that lets one run cycle through millions of step procs.
+	liveHead *Proc
+	liveTail *Proc
+
 	live    int // spawned and not yet finished
 	done    chan struct{}
 	err     error
@@ -98,6 +109,14 @@ type Kernel struct {
 	// observationally equivalent; the flag exists so tests can assert
 	// exactly that (see fuzz_test.go).
 	DisableFastPath bool
+
+	// Step-machine execution state (see step.go): the free list of
+	// recycled Proc records, the pool of idle carrier goroutines, and
+	// the runnable step proc dispatch is handing to a carrier's own
+	// loop (valid only across a batonStep return).
+	freeProcs    []*Proc
+	idleCarriers []*carrier
+	stepNext     *Proc
 }
 
 // NewKernel returns an empty simulator positioned at time 0.
@@ -115,13 +134,54 @@ func NewKernel() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Procs returns all processes ever spawned on the kernel, in spawn order.
-func (k *Kernel) Procs() []*Proc { return k.procs }
+// Procs returns the live (spawned and not yet finished) processes, in
+// spawn order. Finished processes are not retained by the kernel.
+func (k *Kernel) Procs() []*Proc {
+	var ps []*Proc
+	for p := k.liveHead; p != nil; p = p.nextLive {
+		ps = append(ps, p)
+	}
+	return ps
+}
 
-// push schedules an event; at must be >= k.now.
+// alive appends p to the live list; spawn order is preserved so
+// teardown and deadlock reports visit processes in the same order the
+// retained-slice kernel did.
+func (k *Kernel) alive(p *Proc) {
+	p.prevLive = k.liveTail
+	p.nextLive = nil
+	if k.liveTail != nil {
+		k.liveTail.nextLive = p
+	} else {
+		k.liveHead = p
+	}
+	k.liveTail = p
+}
+
+// unlive removes p from the live list at retirement.
+func (k *Kernel) unlive(p *Proc) {
+	if p.prevLive != nil {
+		p.prevLive.nextLive = p.nextLive
+	} else {
+		k.liveHead = p.nextLive
+	}
+	if p.nextLive != nil {
+		p.nextLive.prevLive = p.prevLive
+	} else {
+		k.liveTail = p.prevLive
+	}
+	p.prevLive, p.nextLive = nil, nil
+}
+
+// push schedules an event; at must be >= k.now. Events that reference
+// a process pin its record (Proc.refs): the free list never reuses a
+// record that a queued event could still wake.
 func (k *Kernel) push(at Time, kind eventKind, p *Proc, fn func()) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, k.now))
+	}
+	if p != nil {
+		p.refs++
 	}
 	k.seq++
 	k.events.push(event{at: at, seq: k.seq, kind: kind, proc: p, fn: fn})
@@ -154,7 +214,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn:     fn,
 	}
 	k.nextID++
-	k.procs = append(k.procs, p)
+	k.alive(p)
 	k.live++
 	if k.probe != nil {
 		k.probe.ProcStart(k.cur, p)
@@ -236,7 +296,7 @@ func (k *Kernel) Run() error {
 	k.err = nil
 	k.doneSender = nil
 	k.cur = nil
-	k.dispatch(nil)
+	k.dispatch(nil, nil)
 	<-k.done
 	return k.err
 }
@@ -255,21 +315,44 @@ const (
 	// batonDead: the simulation terminated with an error while the
 	// caller was parked; the caller must unwind instead of resuming.
 	batonDead
+	// batonStep: the next runnable work is a step activation and the
+	// caller is a carrier's top-level loop; the proc is in k.stepNext
+	// and the carrier runs it in place with no handoff at all. Only
+	// dispatch calls with a carrier receive this.
+	batonStep
+	// batonStop: the simulation finished while the caller held the
+	// baton with no proc of its own (a carrier loop, Run's seed
+	// dispatch, or a finished proc's trailing dispatch); the caller
+	// simply stops.
+	batonStop
 )
 
 // dispatch runs the event loop while the calling goroutine holds the
 // scheduler baton. self is the process whose goroutine is calling (nil
-// from Run or from a finished process). It returns batonSelf when the
+// from Run, from a finished process, or from a carrier's top-level
+// loop); c is the carrier whose loop is calling (nil everywhere else —
+// self and c are never both non-nil). It returns batonSelf when the
 // next runnable process is self — the caller resumes in place with no
-// channel handoff at all — batonDead when the simulation ended in an
-// error while self was parked (the caller must unwind), and
-// batonPassed after handing the baton to another goroutine or ending
-// the simulation normally.
+// channel handoff at all — batonStep when the caller is a carrier loop
+// and the next runnable work is a step activation it should run in
+// place (k.stepNext), batonDead when the simulation ended in an error
+// while self was parked (the caller must unwind), batonStop when the
+// simulation ended with the caller not parked, and batonPassed after
+// handing the baton to another goroutine.
+//
+// Step activations are run in place only from a carrier's top level:
+// dispatching from under a parked proc's stack (self != nil) must hand
+// the activation to a carrier instead, because running it inline would
+// bury the activation beneath frames that can only unwind when the
+// parked proc resumes — a deadlock if the activation's own park is
+// what eventually wakes the parked proc. A carrier that hands the
+// baton to another goroutine first parks itself on the idle pool;
+// kernel state may only be touched while holding the baton.
 //
 // The pop sequence and event handling are identical to a centralized
 // loop; only the goroutine executing them differs, so dispatch order —
 // and therefore every virtual-time result — is unchanged.
-func (k *Kernel) dispatch(self *Proc) batonState {
+func (k *Kernel) dispatch(self *Proc, c *carrier) batonState {
 	for {
 		if k.events.Len() == 0 {
 			if k.live == 0 {
@@ -299,32 +382,71 @@ func (k *Kernel) dispatch(self *Proc) batonState {
 			k.inCall = false
 		case evStart:
 			p := ev.proc
+			p.refs--
 			if p.killed {
-				// Killed before first activation: retire without ever
-				// creating a goroutine. The joiner wakes carry no
-				// process edge (kernel context), so clear cur.
+				// Killed before first activation: retire without the
+				// body ever running (no goroutine, no finalizer). The
+				// joiner wakes carry no process edge (kernel context),
+				// so clear cur.
 				k.cur = nil
 				p.state = stateDone
 				k.live--
+				k.unlive(p)
 				p.joiners.broadcastLocked(k)
+				k.maybeRecycle(p)
 				continue
 			}
 			p.state = stateRunning
 			k.cur = p
+			if p.isStep {
+				if c != nil {
+					k.stepNext = p
+					return batonStep
+				}
+				k.handToCarrier(p)
+				return batonPassed
+			}
+			if c != nil {
+				k.idleCarriers = append(k.idleCarriers, c)
+			}
 			go p.run()
 			return batonPassed
 		case evWake:
 			p := ev.proc
+			p.refs--
 			if p.state == stateDone {
-				continue // stale wake after completion: ignore
+				// Stale wake after completion: ignore. Dropping the
+				// reference may make the retired record recyclable.
+				k.maybeRecycle(p)
+				continue
 			}
 			if p.state != stateWaiting {
 				panic(fmt.Sprintf("sim: wake of process %q in state %v", p.name, p.state))
+			}
+			if p.isStep && !p.midParked {
+				// Boundary-parked step proc: there is no goroutine to
+				// resume — run (or hand off) the next activation, or
+				// retire in place if the wake is a kill's poison wake.
+				if p.killed {
+					k.retireKilledStep(p)
+					continue
+				}
+				p.state = stateRunning
+				k.cur = p
+				if c != nil {
+					k.stepNext = p
+					return batonStep
+				}
+				k.handToCarrier(p)
+				return batonPassed
 			}
 			p.state = stateRunning
 			k.cur = p
 			if p == self {
 				return batonSelf
+			}
+			if c != nil {
+				k.idleCarriers = append(k.idleCarriers, c)
 			}
 			p.resume <- struct{}{}
 			return batonPassed
@@ -335,12 +457,13 @@ func (k *Kernel) dispatch(self *Proc) batonState {
 // batonAfterFinish classifies the dispatch return after finish: a
 // caller that was parked when the error hit must unwind its own stack
 // (batonDead); otherwise — Run's seed dispatch, a finished process's
-// trailing dispatch, or a normal end — the baton simply stops.
+// trailing dispatch, a carrier loop, or a normal end — the baton
+// simply stops.
 func (k *Kernel) batonAfterFinish(self *Proc) batonState {
 	if self != nil && k.poisoned {
 		return batonDead
 	}
-	return batonPassed
+	return batonStop
 }
 
 // finish records the simulation outcome and releases Run. Exactly one
@@ -357,6 +480,7 @@ func (k *Kernel) batonAfterFinish(self *Proc) batonState {
 // still parked, the done signal is deferred to self's own unwind
 // (doneSender; see Proc.run).
 func (k *Kernel) finish(err error, self *Proc) {
+	k.drainCarriers()
 	k.err = err
 	if err != nil {
 		k.stopped = true
@@ -369,17 +493,33 @@ func (k *Kernel) finish(err error, self *Proc) {
 	k.done <- struct{}{}
 }
 
-// teardown poison-resumes every parked process except self, waiting
-// for each goroutine to finish unwinding before resuming the next —
-// the one-goroutine-at-a-time invariant holds even through error
-// exits, so unwinding defers may safely touch kernel state.
+// teardown unwinds every parked process except self: goroutine procs
+// (and step procs parked mid-activation on a carrier) are
+// poison-resumed one at a time, each goroutine finishing its unwind
+// before the next is resumed — the one-goroutine-at-a-time invariant
+// holds even through error exits, so unwinding defers may safely touch
+// kernel state. Boundary-parked step procs have no goroutine: they are
+// retired in place (teardownStep), their finalizers observing
+// Unwinding() exactly as a goroutine's defers would. The waiting set
+// is snapshotted first because retirement edits the live list.
 func (k *Kernel) teardown(self *Proc) {
 	k.poisoned = true
-	for _, p := range k.procs {
+	var waiting []*Proc
+	for p := k.liveHead; p != nil; p = p.nextLive {
 		if p != self && p.state == stateWaiting {
-			p.resume <- struct{}{}
-			<-k.unwound
+			waiting = append(waiting, p)
 		}
+	}
+	for _, p := range waiting {
+		if p.state != stateWaiting {
+			continue
+		}
+		if p.isStep && !p.midParked {
+			k.teardownStep(p)
+			continue
+		}
+		p.resume <- struct{}{}
+		<-k.unwound
 	}
 }
 
@@ -387,7 +527,7 @@ func (k *Kernel) teardown(self *Proc) {
 // alphabetically for stable output.
 func (k *Kernel) blockedNames() []string {
 	var names []string
-	for _, p := range k.procs {
+	for p := k.liveHead; p != nil; p = p.nextLive {
 		if p.state == stateWaiting {
 			names = append(names, fmt.Sprintf("%s(id=%d)", p.name, p.id))
 		}
@@ -412,7 +552,7 @@ func (k *Kernel) Seq() int64 { return k.seq }
 // live state rather than merging with it. Events and processes added
 // after Restore behave as if the kernel had genuinely reached now.
 func (k *Kernel) Restore(now Time, seq, dispatched int64) {
-	if k.running || k.stopped || len(k.procs) > 0 || k.events.Len() > 0 || k.now != 0 {
+	if k.running || k.stopped || k.liveHead != nil || k.nextID > 0 || k.events.Len() > 0 || k.now != 0 {
 		panic("sim: Restore needs a pristine kernel (never run, no procs, no events)")
 	}
 	if now < 0 || seq < 0 || dispatched < 0 {

@@ -1,0 +1,379 @@
+package sim
+
+// Step-machine process execution: the kernel's second proc execution
+// mode. A goroutine proc (Spawn) owns a real stack and parks by
+// blocking; a step proc (SpawnStep) is a resumable state machine — each
+// activation runs straight-line code to the next blocking point and
+// returns the continuation to run at the next wake. Between
+// activations a step proc is nothing but its Proc record, so a million
+// parked step procs cost a million structs, not a million goroutine
+// stacks, and spawn/exit churn recycles the same records through a
+// free list with zero steady-state allocation.
+//
+// Activations run on pooled carrier goroutines. A carrier is a plain
+// worker: it receives a runnable step proc, trampolines its
+// continuations, and when the proc parks at a boundary (StepHold,
+// WaitQueue.Enroll, Barrier.StepAwait, StepJoin) the carrier drops the
+// proc entirely and runs the dispatch loop itself — the baton
+// discipline is unchanged, only the goroutine-per-proc coupling is
+// gone. Step bodies may still call the blocking primitives (Hold,
+// WaitQueue.Wait, msgpass receives, ...) in the middle of an
+// activation; the carrier then temporarily becomes the proc's
+// goroutine and parks exactly like a Spawn proc would (midParked), so
+// dispatch order — and every virtual-time observable — is identical
+// between the two modes. fuzz and golden tests assert exactly that.
+//
+// Pooling ownership rules (what keeps recycling sound):
+//   - p.refs counts heap events that reference p; a retired proc is
+//     recycled only once refs reaches zero, so a stale wake can never
+//     land on a reincarnated record.
+//   - p.waitq tracks the wait queue p is enrolled on; retirement
+//     removes p from it, so an old queue can never signal a new
+//     incarnation.
+//   - WaitTimeout and Pin set noRecycle: anything that captures the
+//     *Proc beyond its own retirement opts the record out of reuse.
+//   - A *Proc returned by SpawnStep is dead once the proc finishes:
+//     callers that retain handles past that point must Pin them.
+
+// StepFunc is one activation of a step-machine process: it runs to the
+// next blocking point and returns the continuation to execute at the
+// next activation, or nil when the process body is complete. When an
+// activation parks the proc at a boundary (StepHold returning false,
+// WaitQueue.Enroll, Barrier.StepAwait returning false, StepJoin
+// returning false) it must return immediately afterwards; the returned
+// continuation runs when the proc is woken. A continuation returned
+// with the proc still runnable is executed immediately, at the same
+// instant — exactly like straight-line code.
+type StepFunc func(p *Proc) StepFunc
+
+// stepOutcome is runSteps' verdict on what became of the activation.
+type stepOutcome uint8
+
+const (
+	// stepParked: the proc parked at a boundary; the carrier still
+	// holds the baton and must dispatch onward.
+	stepParked stepOutcome = iota
+	// stepRetired: the proc finished (return nil, or kill unwind); the
+	// carrier still holds the baton and must dispatch onward.
+	stepRetired
+	// stepDead: the kernel terminated (teardown rendezvous signaled or
+	// error reported); the carrier goroutine must exit.
+	stepDead
+)
+
+// carrier is a pooled worker goroutine that executes step-proc
+// activations. ch has capacity 1 so a baton holder can hand a runnable
+// proc to an idle carrier without a rendezvous, exactly like the
+// buffered-channel-free resume handoff for goroutine procs.
+type carrier struct {
+	k  *Kernel
+	ch chan *Proc
+}
+
+// handToCarrier gives runnable step proc p to a worker goroutine: an
+// idle pooled carrier when one exists, a fresh one otherwise. The
+// caller holds the baton; the receiving carrier takes it over, so the
+// caller must not touch kernel state after this returns (the same
+// contract as resuming a goroutine proc).
+func (k *Kernel) handToCarrier(p *Proc) {
+	if n := len(k.idleCarriers); n > 0 {
+		c := k.idleCarriers[n-1]
+		k.idleCarriers[n-1] = nil
+		k.idleCarriers = k.idleCarriers[:n-1]
+		c.ch <- p
+		return
+	}
+	c := &carrier{k: k, ch: make(chan *Proc, 1)}
+	go c.loop(p)
+}
+
+// drainCarriers tells every idle carrier to exit. finish calls it so
+// no worker goroutine outlives Run; a later Run respawns carriers on
+// demand.
+func (k *Kernel) drainCarriers() {
+	for i, c := range k.idleCarriers {
+		c.ch <- nil
+		k.idleCarriers[i] = nil
+	}
+	k.idleCarriers = k.idleCarriers[:0]
+}
+
+// loop is the carrier body: run the proc in hand, then keep the baton
+// moving — either directly into the next step activation (batonStep,
+// no handoff at all), or by dispatching until the baton leaves this
+// goroutine, at which point the carrier parks on its channel until a
+// future baton holder hands it another proc (or nil to exit).
+func (c *carrier) loop(p *Proc) {
+	k := c.k
+	for {
+		if c.runSteps(p) == stepDead {
+			return
+		}
+		switch k.dispatch(nil, c) {
+		case batonStep:
+			p = k.stepNext
+			k.stepNext = nil
+		case batonStop:
+			return
+		default: // batonPassed: enqueued idle before the handoff
+			p = <-c.ch
+			if p == nil {
+				return
+			}
+		}
+	}
+}
+
+// runSteps trampolines p's continuations until the proc parks at a
+// boundary, finishes, or unwinds. It is the step-mode twin of
+// Proc.run: the retire sequence (deferred finalizer, state, live
+// count, probe, joiner broadcast) and the recover branches (kernel
+// callback panic, teardown rendezvous, user panic, kill unwind) mirror
+// it exactly so both modes retire identically.
+func (c *carrier) runSteps(p *Proc) (out stepOutcome) {
+	k := c.k
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if k.inCall {
+			// The panic came from a kernel-context callback dispatched
+			// on this carrier, not from p's body. Crash, as the
+			// centralized loop would have.
+			panic(r)
+		}
+		k.runDeferred(p)
+		p.state = stateDone
+		k.live--
+		k.unlive(p)
+		if k.poisoned {
+			// Kernel teardown: retire quietly and hand control back to
+			// the teardown loop — or release Run directly when this
+			// proc detected the error from inside a mid-activation park
+			// (see Kernel.finish).
+			if k.doneSender == p {
+				k.done <- struct{}{}
+			} else {
+				k.unwound <- struct{}{}
+			}
+			out = stepDead
+			return
+		}
+		if r != errUnwind {
+			k.finish(&ProcPanic{Proc: p.name, Value: r}, p)
+			out = stepDead
+			return
+		}
+		// Kill unwind: wake joiners and let the carrier dispatch on.
+		if k.probe != nil {
+			k.probe.ProcExit(p)
+		}
+		p.joiners.broadcastLocked(k)
+		p.leaveWaitq()
+		k.maybeRecycle(p)
+		out = stepRetired
+	}()
+	for {
+		next := p.step(p)
+		if next == nil {
+			// Body complete. The deferred finalizer runs first, before
+			// the proc is marked done — the analog of a goroutine
+			// body's own defers, which run before run()'s recover.
+			k.runDeferred(p)
+			p.state = stateDone
+			k.live--
+			k.unlive(p)
+			if k.probe != nil {
+				k.probe.ProcExit(p)
+			}
+			p.joiners.broadcastLocked(k)
+			k.maybeRecycle(p)
+			return stepRetired
+		}
+		p.step = next
+		if p.state == stateWaiting {
+			return stepParked
+		}
+	}
+}
+
+// runDeferred runs and clears p's step-mode finalizer (see Proc.Defer).
+func (k *Kernel) runDeferred(p *Proc) {
+	if fn := p.deferred; fn != nil {
+		p.deferred = nil
+		fn(p)
+	}
+}
+
+// retireKilledStep retires a boundary-parked step proc whose wake
+// found it killed — the step-mode analog of poison-waking a parked
+// goroutine so it unwinds: the finalizer runs with Killed() observable
+// (as a goroutine's defers would during the unwind), then the proc is
+// retired with the same probe/joiner sequence as Proc.run's recover.
+// The caller (dispatch) continues its loop afterwards.
+func (k *Kernel) retireKilledStep(p *Proc) {
+	p.state = stateRunning
+	k.cur = p
+	k.runDeferred(p)
+	p.state = stateDone
+	k.live--
+	k.unlive(p)
+	if k.probe != nil {
+		k.probe.ProcExit(p)
+	}
+	p.joiners.broadcastLocked(k)
+	p.leaveWaitq()
+	k.maybeRecycle(p)
+}
+
+// teardownStep retires a boundary-parked step proc during error
+// teardown: the finalizer observes Unwinding() and the proc is retired
+// with no probe or joiner activity — exactly what a parked goroutine's
+// poison unwind does (its defers run, then the recover's poisoned
+// branch skips both).
+func (k *Kernel) teardownStep(p *Proc) {
+	k.runDeferred(p)
+	p.state = stateDone
+	k.live--
+	k.unlive(p)
+}
+
+// takeProc returns a Proc record for a new spawn, reusing a recycled
+// one when available. Recycled records keep their allocated resume
+// channel and slice capacities, which is what makes steady-state
+// spawn/exit churn allocation-free.
+func (k *Kernel) takeProc() *Proc {
+	if n := len(k.freeProcs); n > 0 {
+		p := k.freeProcs[n-1]
+		k.freeProcs[n-1] = nil
+		k.freeProcs = k.freeProcs[:n-1]
+		p.id = k.nextID
+		k.nextID++
+		p.state = stateNew
+		return p
+	}
+	p := &Proc{k: k, id: k.nextID, state: stateNew}
+	k.nextID++
+	return p
+}
+
+// maybeRecycle returns a retired step proc's record to the free list
+// when nothing can reach it anymore: no heap event references it
+// (refs), it sits on no wait queue, and nothing opted it out of reuse
+// (Pin, WaitTimeout). Goroutine procs are never recycled — arbitrary
+// user code may retain their handles. A dead kernel recycles nothing.
+func (k *Kernel) maybeRecycle(p *Proc) {
+	if !p.isStep || p.noRecycle || p.refs != 0 || p.waitq != nil || k.poisoned || k.stopped {
+		return
+	}
+	p.step = nil
+	p.deferred = nil
+	p.killed = false
+	p.midParked = false
+	p.Ctx = nil
+	k.freeProcs = append(k.freeProcs, p)
+}
+
+// SpawnStep creates a step-machine process named name whose first
+// activation (fn) is scheduled at the current time, exactly as Spawn
+// schedules a goroutine proc's first activation. No goroutine or stack
+// is created: activations run on pooled carrier goroutines, and the
+// Proc record itself is drawn from the kernel's free list.
+//
+// Handle lifetime: the returned *Proc is valid until the proc
+// finishes, after which the record may be recycled into a different
+// process. Callers that retain the handle past retirement (joining
+// later, introspection, kill-from-timer) must call Pin on it.
+func (k *Kernel) SpawnStep(name string, fn StepFunc) *Proc {
+	p := k.takeProc()
+	p.name = name
+	p.step = fn
+	p.isStep = true
+	k.alive(p)
+	k.live++
+	if k.probe != nil {
+		k.probe.ProcStart(k.cur, p)
+	}
+	k.push(k.now, evStart, p, nil)
+	return p
+}
+
+// StepHold is Hold for step activations: it advances the proc's clock
+// by d ticks and reports whether the activation may continue inline.
+// On the coalescing fast path (same condition as Hold) the clock
+// advances in place and StepHold returns true. Otherwise the wake is
+// scheduled, the proc parks at a boundary, and StepHold returns false:
+// the activation must return its continuation immediately, to run at
+// now+d. Either way the observable dispatch order is identical to a
+// goroutine proc calling Hold(d).
+func (p *Proc) StepHold(d Time) bool {
+	if d < 0 {
+		panic("sim: Hold with negative duration")
+	}
+	k := p.k
+	if p.killed || k.poisoned {
+		panic(errUnwind)
+	}
+	if k.canCoalesce(d) {
+		k.dispatched++
+		k.now += d
+		return true
+	}
+	k.push(k.now+d, evWake, p, nil)
+	p.state = stateWaiting
+	return false
+}
+
+// StepJoin is Join for step activations: it reports whether other is
+// already done (the activation continues inline, as Join would return
+// immediately). Otherwise the proc is enrolled on other's joiner queue
+// and the activation must return its continuation, which runs when
+// other finishes — the same wake Join's park would receive.
+func (p *Proc) StepJoin(other *Proc) bool {
+	if other.state == stateDone {
+		if k := p.k; k.probe != nil {
+			k.probe.ProcJoin(p, other)
+		}
+		return true
+	}
+	other.joiners.Enroll(p)
+	return false
+}
+
+// Defer registers fn as the proc's finalizer — the step-mode analog of
+// a deferred function at the top of a goroutine proc's body. It runs
+// exactly once, at retirement, if and only if the body's first
+// activation ran: after the final continuation returns nil, or during
+// a kill or teardown unwind (where Killed()/Unwinding() report why).
+// It never runs for a proc killed before its first activation, just as
+// a never-started goroutine body's defers never run. A proc has at
+// most one finalizer.
+func (p *Proc) Defer(fn func(*Proc)) {
+	if !p.isStep {
+		panic("sim: Proc.Defer on a goroutine proc; use defer in the body")
+	}
+	if p.deferred != nil {
+		panic("sim: Proc.Defer: finalizer already registered")
+	}
+	p.deferred = fn
+}
+
+// Pin opts the proc's record out of free-list reuse: its *Proc stays
+// valid (state queryable, joinable, killable) after the proc finishes,
+// like a goroutine proc's. Callers that retain step proc handles past
+// retirement must Pin them.
+func (p *Proc) Pin() { p.noRecycle = true }
+
+// IsStep reports whether the proc runs in step-machine mode.
+func (p *Proc) IsStep() bool { return p.isStep }
+
+// leaveWaitq removes p from the wait queue it is enrolled on, if any —
+// part of retirement, so a recycled record can never be signaled by a
+// queue its previous incarnation waited on.
+func (p *Proc) leaveWaitq() {
+	if q := p.waitq; q != nil {
+		q.remove(p)
+		p.waitq = nil
+	}
+}

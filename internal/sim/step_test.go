@@ -1,0 +1,718 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// stepExit is a minimal step body: finish on the first activation.
+func stepExit(p *Proc) StepFunc { return nil }
+
+// TestStepHoldAndChain: a step proc's continuations chain through
+// holds, coalescing when it owns the clock and boundary-parking when a
+// competing event exists, with the same observable times as Hold.
+func TestStepHoldAndChain(t *testing.T) {
+	k := NewKernel()
+	var at []Time
+	k.Schedule(5, func() {}) // competitor: forces the first hold to park
+	var second StepFunc
+	second = func(p *Proc) StepFunc {
+		at = append(at, p.Now())
+		if p.StepHold(7) { // heap empty now: must coalesce
+			at = append(at, p.Now())
+			return nil
+		}
+		t.Error("uncontested StepHold did not coalesce")
+		return second
+	}
+	k.SpawnStep("s", func(p *Proc) StepFunc {
+		at = append(at, p.Now())
+		if p.StepHold(10) {
+			t.Error("contested StepHold coalesced")
+		}
+		return second
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 10, 17}
+	if len(at) != len(want) {
+		t.Fatalf("times = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("times = %v, want %v", at, want)
+		}
+	}
+}
+
+// TestStepJoin covers both join flavors: an already-done target
+// continues inline; a live target parks the joiner until it retires.
+func TestStepJoin(t *testing.T) {
+	k := NewKernel()
+	var joinedLive, joinedDone Time = -1, -1
+	child := k.SpawnStep("child", func(p *Proc) StepFunc {
+		if !p.StepHold(4) {
+			return func(p *Proc) StepFunc { return nil }
+		}
+		return nil
+	})
+	child.Pin()
+	k.SpawnStep("joiner", func(p *Proc) StepFunc {
+		if p.StepJoin(child) {
+			t.Error("join on live child reported done")
+			return nil
+		}
+		return func(p *Proc) StepFunc {
+			joinedLive = p.Now()
+			if !p.StepJoin(child) {
+				t.Error("join on done child parked")
+				return nil
+			}
+			joinedDone = p.Now()
+			return nil
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joinedLive != 4 || joinedDone != 4 {
+		t.Fatalf("joinedLive=%d joinedDone=%d, want 4,4", joinedLive, joinedDone)
+	}
+}
+
+// TestStepMidActivationPark: a step activation may call the blocking
+// primitives (semaphores, Hold) mid-activation; the carrier becomes
+// its goroutine for the park and the interleaving matches goroutine
+// procs exactly.
+func TestStepMidActivationPark(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, 0)
+	var order []string
+	k.Spawn("g", func(p *Proc) {
+		p.Hold(3)
+		order = append(order, fmt.Sprintf("g release at %d", p.Now()))
+		sem.Release()
+	})
+	k.SpawnStep("s", func(p *Proc) StepFunc {
+		sem.Acquire(p) // parks mid-activation until t=3
+		order = append(order, fmt.Sprintf("s acquired at %d", p.Now()))
+		p.Hold(2) // mid-activation hold (coalesces)
+		order = append(order, fmt.Sprintf("s held at %d", p.Now()))
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"g release at 3", "s acquired at 3", "s held at 5"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestStepBarrierAwait: mixed goroutine and step parties on one
+// barrier; the tripper continues inline in both modes.
+func TestStepBarrierAwait(t *testing.T) {
+	k := NewKernel()
+	bar := NewBarrier(k, 3)
+	var events []string
+	k.Spawn("g", func(p *Proc) {
+		p.Hold(2)
+		if bar.Await(p) {
+			t.Error("early arriver tripped")
+		}
+		events = append(events, fmt.Sprintf("g at %d", p.Now()))
+	})
+	if err := runStepBarrierProgram(k, bar, &events); err != nil {
+		t.Fatal(err)
+	}
+	want := "[s2 tripped at 5 s1 at 5 g at 5]" // FIFO: s1 enrolled at t=0, g waited at t=2
+	if fmt.Sprint(events) != want {
+		t.Fatalf("events = %v, want %s", events, want)
+	}
+}
+
+func runStepBarrierProgram(k *Kernel, bar *Barrier, events *[]string) error {
+	k.SpawnStep("s1", func(p *Proc) StepFunc {
+		if !bar.StepAwait(p) {
+			return func(p *Proc) StepFunc {
+				*events = append(*events, fmt.Sprintf("s1 at %d", p.Now()))
+				return nil
+			}
+		}
+		return nil
+	})
+	k.SpawnStep("s2", func(p *Proc) StepFunc {
+		if !p.StepHold(5) {
+			return func(p *Proc) StepFunc {
+				if bar.StepAwait(p) {
+					*events = append(*events, fmt.Sprintf("s2 tripped at %d", p.Now()))
+				}
+				return nil
+			}
+		}
+		return nil
+	})
+	return k.Run()
+}
+
+// TestStepDefer: the registered finalizer is the analog of a body
+// defer — it runs exactly once at retirement, after the final
+// continuation and before joiners resume.
+func TestStepDefer(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	c := k.SpawnStep("c", func(p *Proc) StepFunc {
+		if !p.StepHold(3) {
+			return func(p *Proc) StepFunc {
+				order = append(order, "body done")
+				return nil
+			}
+		}
+		return nil
+	})
+	c.Defer(func(p *Proc) { order = append(order, fmt.Sprintf("finalizer at %d killed=%v", p.Now(), p.Killed())) })
+	k.Spawn("j", func(p *Proc) {
+		p.Join(c)
+		order = append(order, "joiner resumed")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "[body done finalizer at 3 killed=false joiner resumed]"
+	if fmt.Sprint(order) != want {
+		t.Fatalf("order = %v, want %s", order, want)
+	}
+}
+
+// TestStepKillWaiting mirrors TestKillWaitingProc for a boundary-parked
+// step proc: the kill runs the finalizer (with Killed observable),
+// wakes joiners at the kill time, and the run completes normally.
+func TestStepKillWaiting(t *testing.T) {
+	k := NewKernel()
+	q := &WaitQueue{}
+	deferRan := false
+	victim := k.SpawnStep("victim", func(p *Proc) StepFunc {
+		q.Enroll(p)
+		return func(p *Proc) StepFunc {
+			t.Error("victim resumed past its kill point")
+			return nil
+		}
+	})
+	victim.Pin()
+	victim.Defer(func(p *Proc) { deferRan = p.Killed() })
+	joined := Time(-1)
+	k.Spawn("watcher", func(p *Proc) {
+		p.Hold(10)
+		victim.Kill()
+		p.Join(victim)
+		joined = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !deferRan {
+		t.Fatal("victim's finalizer did not run (or saw Killed=false)")
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Fatal("victim not retired as killed")
+	}
+	if joined != 10 {
+		t.Fatalf("join completed at t=%d, want 10", joined)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("victim still enrolled after retirement (len=%d)", q.Len())
+	}
+}
+
+// TestStepKillNew: killed before first activation, the body and the
+// finalizer never run — matching a never-started goroutine body whose
+// defers never existed.
+func TestStepKillNew(t *testing.T) {
+	k := NewKernel()
+	ran, finalized := false, false
+	victim := k.SpawnStep("victim", func(p *Proc) StepFunc { ran = true; return nil })
+	victim.Pin()
+	victim.Defer(func(p *Proc) { finalized = true })
+	victim.Kill()
+	joinedEarly := false
+	k.Spawn("joiner", func(p *Proc) {
+		p.Join(victim)
+		joinedEarly = p.Now() == 0
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran || finalized {
+		t.Fatalf("killed-before-start ran=%v finalized=%v, want false,false", ran, finalized)
+	}
+	if !victim.Done() || !joinedEarly {
+		t.Fatalf("victim done=%v joinedEarly=%v, want true,true", victim.Done(), joinedEarly)
+	}
+}
+
+// TestStepKillSelf: a step activation may kill its own proc; the
+// finalizer runs and the carrier dispatches on.
+func TestStepKillSelf(t *testing.T) {
+	k := NewKernel()
+	finalized := false
+	k.SpawnStep("suicidal", func(p *Proc) StepFunc {
+		if !p.StepHold(4) {
+			return func(p *Proc) StepFunc {
+				p.Kill()
+				t.Error("Kill returned on self-kill")
+				return nil
+			}
+		}
+		return nil
+	}).Defer(func(p *Proc) { finalized = true })
+	k.Spawn("bystander", func(p *Proc) { p.Hold(9) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !finalized || k.Now() != 9 {
+		t.Fatalf("finalized=%v now=%d, want true,9", finalized, k.Now())
+	}
+}
+
+// TestStepDeadlockTeardown: an error-terminated Run retires
+// boundary-parked step procs in place — finalizers observe
+// Unwinding(), the live list empties, and no carrier goroutine leaks.
+func TestStepDeadlockTeardown(t *testing.T) {
+	base := runtime.NumGoroutine()
+	k := NewKernel()
+	q := &WaitQueue{}
+	finals := 0
+	for i := 0; i < 8; i++ {
+		p := k.SpawnStep(fmt.Sprintf("stuck%d", i), func(p *Proc) StepFunc {
+			q.Enroll(p)
+			return func(p *Proc) StepFunc {
+				t.Error("torn-down step proc resumed")
+				return nil
+			}
+		})
+		p.Defer(func(p *Proc) {
+			if p.Unwinding() {
+				finals++
+			}
+		})
+	}
+	var dead *ErrDeadlock
+	if err := k.Run(); !errors.As(err, &dead) {
+		t.Fatalf("Run = %v, want ErrDeadlock", err)
+	}
+	if finals != 8 {
+		t.Fatalf("finalizers ran on %d of 8 torn-down procs", finals)
+	}
+	if live := k.Procs(); len(live) != 0 {
+		t.Fatalf("%d procs still live after teardown, want 0", len(live))
+	}
+	waitGoroutines(t, base)
+}
+
+// TestStepPanicTeardown: a panic inside a step activation surfaces as
+// ProcPanic and unwinds everything, including mid-parked step procs
+// (whose carriers must exit) and parked goroutine procs.
+func TestStepPanicTeardown(t *testing.T) {
+	base := runtime.NumGoroutine()
+	k := NewKernel()
+	sem := NewSemaphore(k, 0)
+	k.Spawn("heldg", func(p *Proc) { p.Hold(1000) })
+	k.SpawnStep("midparked", func(p *Proc) StepFunc {
+		sem.Acquire(p) // never released: carrier stays parked until teardown
+		return nil
+	})
+	k.SpawnStep("bomb", func(p *Proc) StepFunc {
+		if !p.StepHold(5) {
+			return func(p *Proc) StepFunc { panic("boom") }
+		}
+		panic("boom")
+	})
+	var pp *ProcPanic
+	if err := k.Run(); !errors.As(err, &pp) || pp.Proc != "bomb" {
+		t.Fatalf("Run = %v, want ProcPanic from bomb", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestStepNoGoroutinePerProc is the scaling property itself: thousands
+// of boundary-parked step procs add no goroutines.
+func TestStepNoGoroutinePerProc(t *testing.T) {
+	base := runtime.NumGoroutine()
+	k := NewKernel()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		k.SpawnStep("w", func(p *Proc) StepFunc {
+			if !p.StepHold(1) {
+				return stepExit
+			}
+			return nil
+		})
+	}
+	k.Spawn("watcher", func(p *Proc) {
+		// All n procs are boundary-parked at their wakes now; at most a
+		// handful of goroutines (this one, Run's, one carrier) exist.
+		if g := runtime.NumGoroutine(); g > base+8 {
+			t.Errorf("%d goroutines with %d parked step procs (base %d)", g, n, base)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestStepProcRecycling: records of finished step procs are reused;
+// Pin opts out; a record with a stale wake in the heap is not reused
+// until the wake drains.
+func TestStepProcRecycling(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("driver", func(p *Proc) {
+		a := k.SpawnStep("a", stepExit)
+		p.Join(a)
+		b := k.SpawnStep("b", stepExit)
+		p.Join(b)
+		if a != b {
+			t.Error("retired record was not recycled into the next spawn")
+		}
+
+		pinned := k.SpawnStep("pinned", stepExit)
+		pinned.Pin()
+		p.Join(pinned)
+		c := k.SpawnStep("c", stepExit)
+		p.Join(c)
+		if c == pinned {
+			t.Error("pinned record was recycled")
+		}
+		if !pinned.Done() {
+			t.Error("pinned handle unreadable after retirement")
+		}
+
+		// Stale-wake safety: kill a proc parked on a long hold. Its
+		// retirement leaves the hold's wake in the heap, so the record
+		// must not be reused until that wake drains at t+100.
+		victim := k.SpawnStep("victim", func(p *Proc) StepFunc {
+			if !p.StepHold(100) {
+				return stepExit
+			}
+			return nil
+		})
+		p.Yield() // let victim park
+		victim.Kill()
+		p.Yield() // poison wake retires victim; stale wake remains
+		early := k.SpawnStep("early", stepExit)
+		if early == victim {
+			t.Error("record reused while a stale wake still referenced it")
+		}
+		p.Join(early)
+		p.Hold(200) // stale wake drains at +100, freeing the record
+		late := k.SpawnStep("late", stepExit)
+		if late != victim {
+			t.Error("record not reused after its stale wake drained")
+		}
+		p.Join(late)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepRunAfterSuccess: step procs work across repeated Runs on one
+// kernel, carriers respawning on demand.
+func TestStepRunAfterSuccess(t *testing.T) {
+	k := NewKernel()
+	k.SpawnStep("a", func(p *Proc) StepFunc {
+		if !p.StepHold(5) {
+			return stepExit
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	k.SpawnStep("b", func(p *Proc) StepFunc {
+		ran = true
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || k.Now() != 5 {
+		t.Fatalf("ran=%v now=%d, want true,5", ran, k.Now())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Step-vs-goroutine observational equivalence fuzz (the step-mode
+// analog of TestFastPathObservationalEquivalence): the same random
+// program built once with Spawn/Hold/Join/Await and once with
+// SpawnStep/StepHold/StepJoin/StepAwait must produce bit-equal traces.
+
+type equivOpKind uint8
+
+const (
+	opHold equivOpKind = iota
+	opChild
+	opBarrier
+)
+
+type equivOp struct {
+	kind equivOpKind
+	d    Time
+}
+
+// genEquivProgram derives per-proc op lists from seed. Barrier ops are
+// emitted in lockstep rounds so every proc arrives the same number of
+// times and the program cannot deadlock.
+func genEquivProgram(seed int64) (nProcs int, prog [][]equivOp) {
+	rng := rand.New(rand.NewSource(seed))
+	nProcs = 2 + rng.Intn(4)
+	rounds := 1 + rng.Intn(4)
+	useBarrier := rng.Intn(2) == 0
+	prog = make([][]equivOp, nProcs)
+	for i := range prog {
+		for r := 0; r < rounds; r++ {
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				switch rng.Intn(3) {
+				case 0, 1:
+					prog[i] = append(prog[i], equivOp{kind: opHold, d: Time(rng.Intn(10))})
+				case 2:
+					prog[i] = append(prog[i], equivOp{kind: opChild})
+				}
+			}
+			if useBarrier {
+				prog[i] = append(prog[i], equivOp{kind: opBarrier})
+			}
+		}
+	}
+	return nProcs, prog
+}
+
+func buildEquivProgram(seed int64, steps bool) []string {
+	nProcs, prog := genEquivProgram(seed)
+	k := NewKernel()
+	k.MaxEvents = 200_000
+	var trace []string
+	logf := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	bar := NewBarrier(k, nProcs)
+	for i := 0; i < nProcs; i++ {
+		i := i
+		ops := prog[i]
+		logOp := func(j int, p *Proc) {
+			switch ops[j].kind {
+			case opHold:
+				logf("p%d hold %d at %d", i, j, p.Now())
+			case opChild:
+				logf("p%d joined %d at %d", i, j, p.Now())
+			case opBarrier:
+				logf("p%d barrier %d at %d", i, j, p.Now())
+			}
+		}
+		childName := fmt.Sprintf("p%d/c", i)
+		logChild := func(p *Proc) { logf("p%d child at %d", i, p.Now()) }
+		if !steps {
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j, o := range ops {
+					switch o.kind {
+					case opHold:
+						p.Hold(o.d)
+					case opChild:
+						c := k.Spawn(childName, func(c *Proc) {
+							c.Hold(3)
+							logChild(c)
+						})
+						p.Join(c)
+					case opBarrier:
+						bar.Await(p)
+					}
+					logOp(j, p)
+				}
+			})
+			continue
+		}
+		j := 0
+		logPending := -1
+		var drive StepFunc
+		drive = func(p *Proc) StepFunc {
+			if logPending >= 0 {
+				logOp(logPending, p)
+				logPending = -1
+			}
+			for j < len(ops) {
+				cur := j
+				j++
+				switch ops[cur].kind {
+				case opHold:
+					if !p.StepHold(ops[cur].d) {
+						logPending = cur
+						return drive
+					}
+				case opChild:
+					c := k.SpawnStep(childName, func(c *Proc) StepFunc {
+						if !c.StepHold(3) {
+							return func(c *Proc) StepFunc {
+								logChild(c)
+								return nil
+							}
+						}
+						logChild(c)
+						return nil
+					})
+					if !p.StepJoin(c) {
+						logPending = cur
+						return drive
+					}
+				case opBarrier:
+					if !bar.StepAwait(p) {
+						logPending = cur
+						return drive
+					}
+				}
+				logOp(cur, p)
+			}
+			return nil
+		}
+		k.SpawnStep(fmt.Sprintf("p%d", i), drive)
+	}
+	if err := k.Run(); err != nil {
+		trace = append(trace, "ERR "+err.Error())
+	}
+	return trace
+}
+
+// TestStepObservationalEquivalence: step mode may only elide stacks,
+// never reorder or retime anything observable.
+func TestStepObservationalEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		goro := buildEquivProgram(seed, false)
+		step := buildEquivProgram(seed, true)
+		if len(goro) != len(step) {
+			return false
+		}
+		for i := range goro {
+			if goro[i] != step[i] {
+				return false
+			}
+		}
+		return len(goro) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildStepKillProgram mirrors buildKillProgram with step procs:
+// semaphore legs park mid-activation (the carrier-as-goroutine path),
+// bare holds park at boundaries, finalizers replace body defers, and a
+// controller kills random procs at random times. Traces must match the
+// goroutine build bit-for-bit, error outcomes included.
+func buildStepKillProgram(seed int64, steps bool) []string {
+	rng := rand.New(rand.NewSource(seed))
+	k := NewKernel()
+	k.MaxEvents = 200_000
+	var trace []string
+	logf := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	sem := NewSemaphore(k, 1+rng.Intn(2))
+	nProcs := 2 + rng.Intn(4)
+	procs := make([]*Proc, nProcs)
+	for i := 0; i < nProcs; i++ {
+		i := i
+		steps := steps
+		nOps := 2 + rng.Intn(6)
+		holds := make([]Time, nOps)
+		useSem := make([]bool, nOps)
+		for j := range holds {
+			holds[j] = Time(rng.Intn(12))
+			useSem[j] = rng.Intn(2) == 0
+		}
+		name := fmt.Sprintf("p%d", i)
+		if !steps {
+			procs[i] = k.Spawn(name, func(p *Proc) {
+				defer func() { logf("p%d defer at %d killed=%v", i, p.Now(), p.Killed()) }()
+				for j := range holds {
+					if useSem[j] {
+						sem.Acquire(p)
+						p.Hold(holds[j])
+						sem.Release()
+					} else {
+						p.Hold(holds[j])
+					}
+					logf("p%d step %d at %d", i, j, p.Now())
+				}
+			})
+			continue
+		}
+		j := 0
+		logPending := false
+		var drive StepFunc
+		drive = func(p *Proc) StepFunc {
+			if logPending {
+				logPending = false
+				logf("p%d step %d at %d", i, j-1, p.Now())
+			}
+			for j < len(holds) {
+				cur := j
+				j++
+				if useSem[cur] {
+					sem.Acquire(p) // mid-activation park
+					p.Hold(holds[cur])
+					sem.Release()
+					logf("p%d step %d at %d", i, cur, p.Now())
+				} else {
+					if !p.StepHold(holds[cur]) {
+						logPending = true
+						return drive
+					}
+					logf("p%d step %d at %d", i, cur, p.Now())
+				}
+			}
+			return nil
+		}
+		procs[i] = k.SpawnStep(name, drive)
+		procs[i].Pin() // the kill closures below retain the handle
+		procs[i].Defer(func(p *Proc) { logf("p%d defer at %d killed=%v", i, p.Now(), p.Killed()) })
+	}
+	nKills := 1 + rng.Intn(3)
+	for j := 0; j < nKills; j++ {
+		at := Time(rng.Intn(40))
+		victim := procs[rng.Intn(nProcs)]
+		k.Schedule(at, func() {
+			logf("kill %s at %d (done=%v)", victim.Name(), k.Now(), victim.Done())
+			victim.Kill()
+		})
+	}
+	if err := k.Run(); err != nil {
+		trace = append(trace, "ERR "+err.Error())
+	}
+	return trace
+}
+
+// TestStepKillEquivalence: kills, unwinds and error teardowns are
+// observationally identical between the two execution modes.
+func TestStepKillEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		goro := buildStepKillProgram(seed, false)
+		step := buildStepKillProgram(seed, true)
+		if len(goro) != len(step) {
+			return false
+		}
+		for i := range goro {
+			if goro[i] != step[i] {
+				return false
+			}
+		}
+		return len(goro) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
