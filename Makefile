@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-smoke bench-allocgate check fmt vet lint race ckpt-fuzz e2e
+.PHONY: all build test bench bench-smoke bench-allocgate check fmt vet lint race race-shard ckpt-fuzz e2e
 
 all: build
 
@@ -25,16 +25,20 @@ bench:
 bench-smoke: bench-allocgate
 	$(GO) test -bench=. -benchtime=1x -count=1 ./... > /dev/null
 
-# Steady-state step-proc spawn→exit churn must be allocation-free: the
-# Proc record, its events and the carrier goroutine all recycle through
-# free lists. The gate fails on a nonzero allocs/op column (warm-up
-# allocations amortize to zero over 1000 iterations; the exact-zero
-# steady-state property is pinned by TestStepChurnZeroAllocSteadyState).
+# Steady-state hot paths must be allocation-free: step-proc spawn→exit
+# churn (Proc record, events and carrier goroutine all recycle through
+# free lists) and the sharded kernel's window loop (floor scan, horizon
+# dispatch, cross-shard post merge). The gate fails on a nonzero
+# allocs/op column (warm-up allocations amortize to zero over 1000
+# iterations; the exact-zero steady-state churn property is also pinned
+# by TestStepChurnZeroAllocSteadyState).
 bench-allocgate:
-	@out="$$($(GO) test -bench='^BenchmarkKernel_SpawnChurn$$' -benchmem -benchtime=1000x -run='^$$' -count=1 ./internal/sim/)"; \
-	echo "$$out" | grep 'BenchmarkKernel_SpawnChurn'; \
-	allocs="$$(echo "$$out" | awk '/^BenchmarkKernel_SpawnChurn/ {print $$(NF-1)}')"; \
-	if [ "$$allocs" != "0" ]; then echo "FAIL: Kernel_SpawnChurn reports $$allocs allocs/op, want 0"; exit 1; fi
+	@out="$$($(GO) test -bench='^(BenchmarkKernel_SpawnChurn|BenchmarkShard_WindowChurn)$$' -benchmem -benchtime=1000x -run='^$$' -count=1 ./internal/sim/)"; \
+	echo "$$out" | grep -E 'Benchmark(Kernel_SpawnChurn|Shard_WindowChurn)'; \
+	for b in BenchmarkKernel_SpawnChurn BenchmarkShard_WindowChurn; do \
+		allocs="$$(echo "$$out" | awk -v b="$$b" '$$0 ~ "^"b {print $$(NF-1)}')"; \
+		if [ "$$allocs" != "0" ]; then echo "FAIL: $$b reports $$allocs allocs/op, want 0"; exit 1; fi; \
+	done
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -48,8 +52,16 @@ vet:
 lint: vet
 	$(GO) run ./cmd/stamplint ./...
 
-race:
+race: race-shard
 	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/experiments/... ./internal/obs/... ./internal/trace/... ./internal/msgpass/... ./internal/fault/... ./internal/racedet/... ./internal/ckpt/... ./internal/serve/...
+
+# Shard-focused race pass: window dispatch, cross-shard channel
+# handoffs and carrier handback under the Go race detector. The
+# *Shard* suites iterate the 1/2/4 shards × 1/2/4 workers matrix
+# internally, so this exercises every concurrent layout explicitly
+# (the full `race` run above also reaches them via the package list).
+race-shard:
+	$(GO) test -race -count=1 -run 'Shard' ./internal/sim/ ./internal/core/ ./internal/experiments/ ./internal/racedet/ ./internal/ckpt/
 
 # Black-box e2e: boot stampserve on an ephemeral port, submit scenarios
 # over HTTP and assert on the event stream, /metrics and the scenario

@@ -80,6 +80,7 @@ func main() {
 
 	if *benchOut != "" {
 		rep := experiments.NewBenchReport(results, time.Now().UTC(), wall, *parallel)
+		rep.ShardScaling = measureShardScaling()
 		if err := rep.WriteFile(*benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -134,4 +135,36 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// measureShardScaling times the sharded kernel's cross-chip ring
+// workload at 1, 2 and 4 shards and reports each row's speedup over
+// the sequential run. Results are bit-identical at every shard count
+// (the sharding experiment's golden pins that); only wall-clock — and
+// therefore this report — depends on the host. A warm-up run absorbs
+// one-time costs before measurement.
+func measureShardScaling() []experiments.ShardScalingRow {
+	const rounds = 2000
+	experiments.ShardScalingWorkload(1, 1, rounds) // warm-up
+	var rows []experiments.ShardScalingRow
+	var baseline time.Duration
+	for _, l := range []struct{ shards, workers int }{{1, 1}, {2, 2}, {4, 4}} {
+		start := time.Now()
+		experiments.ShardScalingWorkload(l.shards, l.workers, rounds)
+		elapsed := time.Since(start)
+		if l.shards == 1 {
+			baseline = elapsed
+		}
+		speedup := 0.0
+		if elapsed > 0 {
+			speedup = float64(baseline) / float64(elapsed)
+		}
+		rows = append(rows, experiments.ShardScalingRow{
+			Shards:    l.shards,
+			Workers:   l.workers,
+			WallNanos: elapsed.Nanoseconds(),
+			Speedup:   speedup,
+		})
+	}
+	return rows
 }

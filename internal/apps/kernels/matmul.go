@@ -42,23 +42,41 @@ func MatMul(sys *core.System, a, b [][]float64, p int) (MatMulResult, error) {
 	}
 	cShared := memory.NewRegion[float64](sys.Mem, "matmul/C", memory.Inter, 0, n*n)
 
-	g := sys.NewGroup("matmul", MatMulAttrs, p, func(ctx *core.Ctx) {
+	round := func(ctx *core.Ctx) {
 		lo := ctx.Index() * rows
-		ctx.SRound(func() {
-			bl := bShared.ReadRange(ctx, 0, n*n) // read B once
-			for i := lo; i < lo+rows; i++ {
-				for j := 0; j < n; j++ {
-					s := 0.0
-					for k := 0; k < n; k++ {
-						s += a[i][k] * bl[k*n+j]
-					}
-					cShared.Write(ctx, i*n+j, s)
+		bl := bShared.ReadRange(ctx, 0, n*n) // read B once
+		for i := lo; i < lo+rows; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += a[i][k] * bl[k*n+j]
 				}
+				cShared.Write(ctx, i*n+j, s)
 			}
-			// 2n flops per output element (n mults, n−1 adds ≈ 2n).
-			ctx.FpOps(int64(rows * n * 2 * n))
-		})
-	})
+		}
+		// 2n flops per output element (n mults, n−1 adds ≈ 2n).
+		ctx.FpOps(int64(rows * n * 2 * n))
+	}
+
+	body := func(ctx *core.Ctx) { ctx.SRound(func() { round(ctx) }) }
+
+	// The memory operations park the step's carrier mid-round, so the
+	// whole multiply is one Step bracketed by the round boundary calls
+	// (async_comm: StepRoundEnd seals without a barrier).
+	stepBody := func(ctx *core.Ctx) core.Step {
+		return func(c *core.Ctx) core.Step {
+			c.StepRoundBegin()
+			round(c)
+			return c.StepRoundEnd(nil)
+		}
+	}
+
+	var g *core.Group
+	if core.GoroutineBodies {
+		g = sys.NewGroup("matmul", MatMulAttrs, p, body)
+	} else {
+		g = sys.NewStepGroup("matmul", MatMulAttrs, p, stepBody)
+	}
 	if err := sys.Run(); err != nil {
 		return MatMulResult{}, err
 	}

@@ -1,0 +1,90 @@
+package ckpt_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// The kill/restore contract under the sharded kernel: with
+// core.DefaultShards set, every system below is driven by the
+// ShardGroup's windowed dispatch loop (checkpointed groups live on the
+// coordinator shard), and a kill via the coordinator's MaxEvents budget
+// lands at the same dispatch as in the sequential kernel. Restored runs
+// must therefore be byte-identical to an uninterrupted sequential run.
+
+// newShardSys builds a Generic-machine system under the current
+// DefaultShards switch with the given coordinator event budget.
+func newShardSys(maxEvents int64) *core.System {
+	sys := core.NewSystem(machine.Generic())
+	sys.K.MaxEvents = maxEvents
+	return sys
+}
+
+// TestKillRestoreEquivalenceUnderShards is the sharded slice of the
+// kill/restore fuzz: clean and kill/restore cycles at 1, 2 and 4
+// shards, all compared against the sequential clean run.
+func TestKillRestoreEquivalenceUnderShards(t *testing.T) {
+	ckClean, err := ckpt.New(t.TempDir(), equivEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := runJacobi(t, newShardSys(0), ckClean)
+	if clean.err != nil {
+		t.Fatal(clean.err)
+	}
+
+	d := clean.dispatched
+	points := []int64{d / 6, d / 2, 5 * d / 6}
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			core.DefaultShards, core.DefaultShardWorkers = shards, 2
+			defer func() { core.DefaultShards, core.DefaultShardWorkers = 0, 0 }()
+
+			// The uninterrupted sharded run reproduces the sequential one.
+			ckShard, err := ckpt.New(t.TempDir(), equivEvery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole := runJacobi(t, newShardSys(0), ckShard)
+			if whole.err != nil {
+				t.Fatal(whole.err)
+			}
+			if diff := sameRun(clean, whole); diff != "" {
+				t.Fatalf("uninterrupted sharded run diverged from sequential: %s", diff)
+			}
+
+			for _, kill := range points {
+				dir := t.TempDir()
+				ckKill, err := ckpt.New(dir, equivEvery)
+				if err != nil {
+					t.Fatal(err)
+				}
+				killed := runJacobi(t, newShardSys(kill), ckKill)
+				var lim *sim.ErrEventLimit
+				if !errors.As(killed.err, &lim) {
+					t.Fatalf("kill at event %d: err = %v, want ErrEventLimit", kill, killed.err)
+				}
+				ckRes, err := ckpt.Resume(dir, equivEvery)
+				if errors.Is(err, ckpt.ErrNoCheckpoint) {
+					ckRes, err = ckpt.New(dir, equivEvery)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored := runJacobi(t, newShardSys(0), ckRes)
+				if restored.err != nil {
+					t.Fatalf("kill at event %d: restored run failed: %v", kill, restored.err)
+				}
+				if diff := sameRun(clean, restored); diff != "" {
+					t.Fatalf("kill at event %d of %d: restored sharded run diverged: %s", kill, d, diff)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ type Group struct {
 	attrs     Attrs
 	n         int
 	ctxs      []*Ctx
+	k         *sim.Kernel // where members spawn: a shard, or sys.K
 	bar       *sim.Barrier
 	placement Placement
 
@@ -34,6 +35,7 @@ type GroupOption func(*groupConfig)
 type groupConfig struct {
 	placement  Placement
 	startOrder []int
+	byShard    bool
 }
 
 // WithPlacement overrides the default distribution-attribute placement
@@ -41,6 +43,30 @@ type groupConfig struct {
 // The power-aware allocator in internal/sched produces such placements.
 func WithPlacement(pl Placement) GroupOption {
 	return func(gc *groupConfig) { gc.placement = pl }
+}
+
+// ShardByPlacement opts the group into shard-homed execution: on a
+// sharded System, the group's processes spawn on the kernel shard
+// owning their placement's chip, so the group advances concurrently
+// with groups on other shards (under the conservative lookahead
+// window; see sim.ShardGroup). The contract:
+//
+//   - every member must be placed on the same shard (same chip, or
+//     chips mapped to one shard) — a spanning placement panics;
+//   - the group communicates only by message passing; shared memory
+//     and STM are coordinator-only and panic from a shard-homed
+//     process;
+//   - messages it exchanges with groups on other shards must cross a
+//     chip boundary (the lookahead is the minimum cross-chip delay);
+//   - a parent on another kernel cannot Await it.
+//
+// When the system is unsharded, or carries observers that require the
+// single-kernel discipline (tracer, obs sinks, fault injection, race
+// probe, checkpoint recorder), the option quietly demotes to the
+// coordinator kernel: results are identical either way — sharding
+// changes where work runs, never what it computes.
+func ShardByPlacement() GroupOption {
+	return func(gc *groupConfig) { gc.byShard = true }
 }
 
 // WithStartOrder overrides the order in which member processes are
@@ -71,7 +97,7 @@ func (sys *System) NewGroupOpts(name string, attrs Attrs, n int, body func(ctx *
 		}
 		ctx := g.ctxs[i]
 		pname := fmt.Sprintf("%s/%d", name, i)
-		ctx.p = sys.K.Spawn(pname, func(p *sim.Proc) {
+		ctx.p = g.k.Spawn(pname, func(p *sim.Proc) {
 			ctx.start = p.Now()
 			if s := ctx.restoreSnap; s != nil {
 				ctx.restoreSnap = nil
@@ -122,12 +148,24 @@ func (sys *System) newGroupShell(name string, attrs Attrs, n int, opts []GroupOp
 		panic(fmt.Sprintf("core: placement size %d != group size %d", len(pl), n))
 	}
 
+	k := sys.K
+	if gc.byShard && sys.shardSafe() {
+		s := sys.M.ShardOfThread(pl[0])
+		for _, t := range pl[1:] {
+			if sys.M.ShardOfThread(t) != s {
+				panic(fmt.Sprintf("core: ShardByPlacement group %q spans shards (placement %v)", name, pl))
+			}
+		}
+		k = sys.M.KernelFor(pl[0])
+	}
+
 	g := &Group{
 		sys:       sys,
 		name:      name,
 		attrs:     attrs,
 		n:         n,
-		bar:       sim.NewBarrier(sys.K, n),
+		k:         k,
+		bar:       sim.NewBarrier(k, n),
 		placement: pl,
 	}
 	order := gc.startOrder
@@ -155,6 +193,10 @@ func (sys *System) newGroupShell(name string, attrs Attrs, n int, opts []GroupOp
 		pname := fmt.Sprintf("%s/%d", name, i)
 		ctx := &Ctx{sys: sys, g: g, idx: i, thread: pl[i]}
 		ctx.ep = sys.Net.NewEndpoint(pname, pl[i])
+		// The endpoint's wake kernel must be the one the member parks
+		// on — g.k, which for demoted groups differs from the thread's
+		// home shard.
+		ctx.ep.BindKernel(g.k)
 		ctx.prof = sys.Obs.Profiler().Proc(pname)
 		sys.M.Bind(pl[i])
 		g.ctxs[i] = ctx
@@ -176,6 +218,10 @@ func (g *Group) Ctxs() []*Ctx { return g.ctxs }
 
 // Placement returns the thread assignment of the group.
 func (g *Group) Placement() Placement { return g.placement }
+
+// Kernel returns the kernel the group's members run on — a shard for
+// ShardByPlacement groups on a sharded system, sys.K otherwise.
+func (g *Group) Kernel() *sim.Kernel { return g.k }
 
 // Await blocks the calling STAMP process until every member of g has
 // finished — how a parent waits for a nested STAMP (rule 4 of §3.1).

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/machine"
+	"repro/internal/memory"
+	"repro/internal/msgpass"
+	"repro/internal/sim"
+)
+
+// shardRunDigest is everything observable a sharded run must reproduce
+// bit-identically: per-member completion times and operation counters,
+// plus the folded network statistics.
+type shardRunDigest struct {
+	End       [][]sim.Time
+	Counters  [][]energy.Counters
+	Delivered int64
+	Wire      sim.Time
+	Occupancy float64
+	MaxInbox  int
+}
+
+// runShardRing builds a clustered machine (2 clusters × 2 chips × 2
+// cores × 2 threads), homes one two-member group per chip via
+// ShardByPlacement, and runs a cross-chip message ring: rank 0 of each
+// chip computes, sends to the next chip, receives from the previous,
+// and barriers with its chip-mate each round. shards <= 1 builds the
+// sequential reference system.
+func runShardRing(t *testing.T, shards, workers int) shardRunDigest {
+	t.Helper()
+	cfg := machine.Cluster(2, 2, 2, 2)
+	var sys *System
+	if shards <= 1 {
+		sys = NewSystem(cfg)
+	} else {
+		sys = NewShardedSystem(cfg, shards, workers)
+	}
+
+	const rounds = 5
+	nChips := cfg.Chips
+	perChip := cfg.CoresPerChip * cfg.ThreadsPerCore
+	dig := shardRunDigest{
+		End:      make([][]sim.Time, nChips),
+		Counters: make([][]energy.Counters, nChips),
+	}
+	groups := make([]*Group, nChips)
+	for chip := 0; chip < nChips; chip++ {
+		chip := chip
+		pl := Placement{
+			machine.ThreadID(chip * perChip),
+			machine.ThreadID(chip*perChip + 2), // second core of the chip
+		}
+		dig.End[chip] = make([]sim.Time, len(pl))
+		dig.Counters[chip] = make([]energy.Counters, len(pl))
+		groups[chip] = sys.NewGroupOpts("chip"+string(rune('0'+chip)), Attrs{Dist: IntraProc, Exec: AsyncExec, Comm: AsyncComm}, len(pl),
+			func(c *Ctx) {
+				if c.Index() == 0 {
+					next := groups[(chip+1)%nChips].Ctxs()[0].Endpoint()
+					for r := 0; r < rounds; r++ {
+						c.IntOps(int64(3 + chip + r))
+						c.Endpoint().Send(c, next, chip*100+r)
+						m := c.Recv()
+						if got := m.Payload.(int) % 100; got != r {
+							t.Errorf("chip %d round %d: got payload %v", chip, r, m.Payload)
+						}
+						c.Barrier()
+					}
+				} else {
+					for r := 0; r < rounds; r++ {
+						c.FpOps(int64(2 + chip))
+						c.Barrier()
+					}
+				}
+				dig.End[chip][c.Index()] = c.Now()
+			},
+			WithPlacement(pl), ShardByPlacement())
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+	}
+	for chip, g := range groups {
+		for i, c := range g.Ctxs() {
+			dig.Counters[chip][i] = *c.Counters()
+		}
+	}
+	dig.Delivered = sys.Net.Delivered()
+	dig.Wire = sys.Net.WireTicks()
+	dig.Occupancy = sys.Net.OccupancyTicks()
+	dig.MaxInbox = sys.Net.MaxInboxDepth()
+	return dig
+}
+
+// TestShardedSystemEquivalence pins the tentpole property at the core
+// layer: a sharded system is bit-identical to the sequential one for
+// every shard and worker count, and the DisableSharding escape hatch
+// collapses NewShardedSystem to the sequential path.
+func TestShardedSystemEquivalence(t *testing.T) {
+	ref := runShardRing(t, 0, 0)
+	if ref.Delivered == 0 {
+		t.Fatal("reference run delivered no messages")
+	}
+	layouts := []struct{ shards, workers int }{
+		{2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4},
+	}
+	for _, l := range layouts {
+		got := runShardRing(t, l.shards, l.workers)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d workers=%d diverged from sequential:\n got %+v\nwant %+v",
+				l.shards, l.workers, got, ref)
+		}
+	}
+
+	DisableSharding = true
+	defer func() { DisableSharding = false }()
+	got := runShardRing(t, 4, 4)
+	if !reflect.DeepEqual(got, ref) {
+		t.Error("DisableSharding run diverged from sequential")
+	}
+}
+
+// TestDefaultShardsReroutesNewSystem pins the corpus-wide switch: with
+// DefaultShards set, plain NewSystem builds a sharded system.
+func TestDefaultShardsReroutesNewSystem(t *testing.T) {
+	DefaultShards, DefaultShardWorkers = 2, 2
+	defer func() { DefaultShards, DefaultShardWorkers = 0, 0 }()
+	sys := NewSystem(machine.Cluster(2, 2, 2, 2))
+	if sys.SG == nil || sys.SG.NumShards() != 2 {
+		t.Fatalf("NewSystem under DefaultShards=2 built SG=%v", sys.SG)
+	}
+	if sys.K != sys.SG.Shard(0) {
+		t.Fatal("coordinator kernel must be shard 0")
+	}
+	// Shards are clamped to the chip count.
+	DefaultShards = 64
+	sys = NewSystem(machine.Cluster(2, 2, 2, 2))
+	if sys.SG == nil || sys.SG.NumShards() != 4 {
+		t.Fatalf("shards not clamped to chips: %v", sys.SG)
+	}
+}
+
+// TestShardHomedMemoryAccessPanics pins the guard: shared memory is
+// coordinator-only, and a shard-homed process touching it fails loudly
+// instead of racing.
+func TestShardHomedMemoryAccessPanics(t *testing.T) {
+	cfg := machine.Cluster(2, 2, 2, 2)
+	sys := NewShardedSystem(cfg, 4, 1)
+	reg := memory.NewRegion[int](sys.Mem, "shared", memory.Inter, 0, 4)
+	perChip := cfg.CoresPerChip * cfg.ThreadsPerCore
+	// A group homed on shard 3 (chip 3).
+	pl := Placement{machine.ThreadID(3 * perChip)}
+	sys.NewGroupOpts("offshard", Attrs{}, 1, func(c *Ctx) {
+		reg.Read(c, 0)
+	}, WithPlacement(pl), ShardByPlacement())
+	err := sys.Run()
+	if err == nil {
+		t.Fatal("expected the run to fail")
+	}
+}
+
+// TestShardByPlacementDemotesUnderObservers pins the demotion rule: a
+// system carrying a tracer keeps every group on the coordinator, so
+// observers never see cross-shard interleavings.
+func TestShardByPlacementDemotesUnderObservers(t *testing.T) {
+	cfg := machine.Cluster(2, 2, 2, 2)
+	sys := NewShardedSystem(cfg, 4, 1)
+	sys.Net.SetProbe(nopProbe{})
+	perChip := cfg.CoresPerChip * cfg.ThreadsPerCore
+	pl := Placement{machine.ThreadID(3 * perChip)}
+	g := sys.NewGroupOpts("observed", Attrs{}, 1, func(c *Ctx) { c.IntOps(1) },
+		WithPlacement(pl), ShardByPlacement())
+	if g.Kernel() != sys.K {
+		t.Fatal("group with a probe installed must demote to the coordinator")
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardByPlacementSpanningPanics pins the placement contract.
+func TestShardByPlacementSpanningPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("spanning placement did not panic")
+		}
+	}()
+	cfg := machine.Cluster(2, 2, 2, 2)
+	sys := NewShardedSystem(cfg, 4, 1)
+	perChip := cfg.CoresPerChip * cfg.ThreadsPerCore
+	pl := Placement{0, machine.ThreadID(3 * perChip)} // chips 0 and 3
+	sys.NewGroupOpts("spanning", Attrs{}, 2, func(c *Ctx) {}, WithPlacement(pl), ShardByPlacement())
+}
+
+type nopProbe struct{}
+
+func (nopProbe) MsgSend(src, dst *msgpass.Endpoint, p *sim.Proc) uint64   { return 1 }
+func (nopProbe) MsgRecv(dst *msgpass.Endpoint, p *sim.Proc, token uint64) {}

@@ -64,7 +64,7 @@ func (sys *System) NewStepGroupOpts(name string, attrs Attrs, n int, body func(c
 		ctx.stepBody = body
 		ctx.stepDriveFn = ctx.stepDrive
 		pname := fmt.Sprintf("%s/%d", name, i)
-		ctx.p = sys.K.SpawnStep(pname, ctx.stepBegin)
+		ctx.p = g.k.SpawnStep(pname, ctx.stepBegin)
 		ctx.p.Ctx = ctx
 		ctx.p.Pin()
 		ctx.p.Defer(ctx.stepEpilogue)

@@ -20,6 +20,14 @@ type Machine struct {
 	LA, LE     float64 // message delays L_a, L_e
 	GMpA, GMpE float64 // message-passing bandwidth factors
 
+	// Hierarchical message tier (clusters of chips): L_x / g_mp_x for
+	// cross-chip-within-cluster links, L_c / g_mp_c for cross-cluster
+	// links. Zero on flat machines; FromCostTable applies the same
+	// fallback chain as the simulator (L_x → L_e, L_c → L_x → L_e), so
+	// predictions and measurements degrade together.
+	LX, LC     float64
+	GMpX, GMpC float64
+
 	WFp, WInt, WRead, WWrite, WSend, WRecv float64 // per-op energies
 }
 
@@ -32,6 +40,8 @@ func FromCostTable(t machine.CostTable) Machine {
 		GShA: t.GShA, GShE: t.GShE,
 		LA: float64(t.LA), LE: float64(t.LE),
 		GMpA: t.GMpA, GMpE: t.GMpE,
+		LX: float64(t.EffLX()), LC: float64(t.EffLC()),
+		GMpX: t.EffGMpX(), GMpC: t.EffGMpC(),
 		WFp: t.WFp, WInt: t.WInt, WRead: t.WRead, WWrite: t.WWrite,
 		WSend: t.WSend, WRecv: t.WRecv,
 	}
@@ -46,6 +56,11 @@ type Round struct {
 	// Knuth–Iverson brackets.
 	PA, PE int
 
+	// Hierarchical distribution: P_x processes a cross-chip hop away
+	// (same cluster) and P_c a cross-cluster hop away. Zero on flat
+	// machines, leaving the paper's two-level formula untouched.
+	PX, PC int
+
 	// κ: worst-case serialization / rollback count for shared access.
 	Kappa float64
 
@@ -53,6 +68,9 @@ type Round struct {
 	DRa, DRe, DWa, DWe float64
 	// Message traffic: m_s_a, m_s_e, m_r_a, m_r_e.
 	MSa, MSe, MRa, MRe float64
+	// Hierarchical message traffic: cross-chip (m_s_x, m_r_x) and
+	// cross-cluster (m_s_c, m_r_c) words.
+	MSx, MSc, MRx, MRc float64
 
 	// Family toggles: the formula's [shared memory comm] and
 	// [message passing comm] brackets.
@@ -91,13 +109,21 @@ func (r Round) C(m Machine) float64 { return r.CFp*m.TFp + r.CInt*m.TInt }
 //	              + g_sh_a(d_r_a+d_w_a) + g_sh_e(d_r_e+d_w_e))
 //	      + [mp]([P_e≥1]L_e + [P_a≥1]L_a
 //	              + g_mp_a(m_s_a+m_r_a) + g_mp_e(m_s_e+m_r_e))
+//
+// On clustered machines two more bracketed tiers follow the same
+// shape: [P_x≥1]L_x + g_mp_x(m_s_x+m_r_x) and [P_c≥1]L_c +
+// g_mp_c(m_s_c+m_r_c). They vanish on flat rounds (P_x = P_c = 0, no
+// tiered traffic), so the paper's original formula is the special
+// case.
 func (r Round) T(m Machine) float64 {
 	t := r.C(m)
 	t += b(r.SharedMem) * (r.Kappa +
 		b(r.PE >= 1)*m.EllE + b(r.PA >= 1)*m.EllA +
 		m.GShA*(r.DRa+r.DWa) + m.GShE*(r.DRe+r.DWe))
 	t += b(r.MsgPassing) * (b(r.PE >= 1)*m.LE + b(r.PA >= 1)*m.LA +
-		m.GMpA*(r.MSa+r.MRa) + m.GMpE*(r.MSe+r.MRe))
+		m.GMpA*(r.MSa+r.MRa) + m.GMpE*(r.MSe+r.MRe) +
+		b(r.PX >= 1)*m.LX + b(r.PC >= 1)*m.LC +
+		m.GMpX*(r.MSx+r.MRx) + m.GMpC*(r.MSc+r.MRc))
 	return t
 }
 
@@ -108,7 +134,7 @@ func (r Round) T(m Machine) float64 {
 func (r Round) E(m Machine) float64 {
 	return r.CFp*m.WFp + r.CInt*m.WInt +
 		m.WRead*(r.DRa+r.DRe) + m.WWrite*(r.DWa+r.DWe) +
-		m.WRecv*(r.MRa+r.MRe) + m.WSend*(r.MSa+r.MSe)
+		m.WRecv*(r.MRa+r.MRe+r.MRx+r.MRc) + m.WSend*(r.MSa+r.MSe+r.MSx+r.MSc)
 }
 
 // P returns the expected S-round power E/T (0 for T = 0).

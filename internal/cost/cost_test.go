@@ -333,3 +333,39 @@ func TestAPSPEffectiveDominatesPaper(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterTierBracketsAndFallback pins the hierarchical message
+// tier: on a clustered machine the P_x / P_c brackets add L_x and L_c
+// with their bandwidth terms, and on a flat cost table the lifted tier
+// falls back to L_e / g_mp_e, so flat predictions are unchanged.
+func TestClusterTierBracketsAndFallback(t *testing.T) {
+	cm := FromCostTable(machine.Cluster(2, 2, 2, 2).Costs)
+	base := Round{CInt: 1, MsgPassing: true, MSa: 1}
+	t0 := base.T(cm)
+	withPX := base
+	withPX.PX = 1
+	if d := withPX.T(cm) - t0; !approx(d, cm.LX) {
+		t.Fatalf("P_x bracket added %g, want L_x=%g", d, cm.LX)
+	}
+	withPC := withPX
+	withPC.PC = 1
+	if d := withPC.T(cm) - withPX.T(cm); !approx(d, cm.LC) {
+		t.Fatalf("P_c bracket added %g, want L_c=%g", d, cm.LC)
+	}
+	traffic := withPC
+	traffic.MSx, traffic.MRx, traffic.MSc, traffic.MRc = 2, 1, 3, 4
+	wantBW := cm.GMpX*(2+1) + cm.GMpC*(3+4)
+	if d := traffic.T(cm) - withPC.T(cm); !approx(d, wantBW) {
+		t.Fatalf("tiered bandwidth added %g, want %g", d, wantBW)
+	}
+	wantE := base.E(cm) + cm.WSend*(2+3) + cm.WRecv*(1+4)
+	if got := traffic.E(cm); !approx(got, wantE) {
+		t.Fatalf("tiered energy %g, want %g", got, wantE)
+	}
+
+	// Flat table: the lifted tier degrades to the inter-chip constants.
+	fm := mach()
+	if fm.LX != fm.LE || fm.LC != fm.LE || fm.GMpX != fm.GMpE || fm.GMpC != fm.GMpE {
+		t.Fatalf("flat fallback broken: %+v", fm)
+	}
+}

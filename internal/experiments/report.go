@@ -16,6 +16,20 @@ type BenchExperiment struct {
 	Passed bool   `json:"passed"`
 }
 
+// ShardScalingRow is one wall-clock measurement of the sharded kernel:
+// the cross-chip ring workload (ShardScalingWorkload) at a shard/worker
+// count, with its speedup over the sequential (shards=1) row. The
+// measurement is host-dependent by nature — on a single-CPU host the
+// speedup is expected to be ≈1 or below (window coordination overhead
+// with no parallelism to pay for it); the row records what the host
+// actually delivered.
+type ShardScalingRow struct {
+	Shards    int     `json:"shards"`
+	Workers   int     `json:"workers"`
+	WallNanos int64   `json:"wall_ns"`
+	Speedup   float64 `json:"speedup_vs_sequential"`
+}
+
 // BenchReport is the machine-readable wall-clock report stampbench
 // writes with -bench-out: enough host context to compare runs across
 // machines, plus per-experiment pass state and the suite wall-clock.
@@ -30,6 +44,10 @@ type BenchReport struct {
 	Workers     int               `json:"workers"`
 	WallNanos   int64             `json:"wall_ns"`
 	Experiments []BenchExperiment `json:"experiments"`
+	// ShardScaling is filled by stampbench -bench-out: wall-clock rows
+	// for the sharded kernel at 1, 2 and 4 shards (this package never
+	// reads the host clock itself).
+	ShardScaling []ShardScalingRow `json:"shard_scaling,omitempty"`
 }
 
 // NewBenchReport assembles the report for a result set. The caller

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGoldenOutputsUnderShards is the ISSUE's acceptance matrix: the
+// whole experiment corpus under the sharded kernel at 1, 2 and 4
+// shards × 1, 2 and 4 shard workers, every golden byte-identical. With
+// core.DefaultShards set, every NewSystem in every experiment builds a
+// ShardGroup-driven system (clamped to the machine's chip count), so
+// the windowed dispatch loop — not the sequential Run — executes the
+// entire suite.
+// CI fans the layouts out across jobs by setting SHARD_LAYOUT to
+// "<shards>x<workers>"; unset, the full matrix runs in-process.
+func TestGoldenOutputsUnderShards(t *testing.T) {
+	layouts := []struct{ shards, workers int }{
+		{1, 1}, {2, 1}, {2, 2}, {2, 4}, {4, 1}, {4, 2}, {4, 4},
+	}
+	if env := os.Getenv("SHARD_LAYOUT"); env != "" {
+		var s, w int
+		if _, err := fmt.Sscanf(env, "%dx%d", &s, &w); err != nil {
+			t.Fatalf("SHARD_LAYOUT=%q: want <shards>x<workers>: %v", env, err)
+		}
+		layouts = []struct{ shards, workers int }{{s, w}}
+	}
+	for _, l := range layouts {
+		t.Run(fmt.Sprintf("shards=%d/workers=%d", l.shards, l.workers), func(t *testing.T) {
+			core.DefaultShards, core.DefaultShardWorkers = l.shards, l.workers
+			defer func() { core.DefaultShards, core.DefaultShardWorkers = 0, 0 }()
+			for _, id := range IDs() {
+				want, err := os.ReadFile(goldenPath(id))
+				if err != nil {
+					t.Fatalf("missing golden for %s: %v", id, err)
+				}
+				res, err := Run(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := res.String(); got != string(want) {
+					t.Fatalf("%s diverged from golden under shards=%d workers=%d\n--- got ---\n%s\n--- want ---\n%s",
+						id, l.shards, l.workers, got, want)
+				}
+			}
+		})
+	}
+}

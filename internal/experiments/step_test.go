@@ -8,7 +8,8 @@ import (
 )
 
 // The experiment goldens were pinned with goroutine-mode process
-// bodies; jacobi and apsp now default to step-machine drivers
+// bodies; every dual-mode app (jacobi, apsp, bank, airline, and the
+// kernels cookbook) now defaults to step-machine drivers
 // (core.GoroutineBodies=false), so TestGoldenOutputs already proves
 // step mode bit-identical. The tests here close the equivalence from
 // the other side and across host parallelism.

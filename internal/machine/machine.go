@@ -26,6 +26,14 @@ type Config struct {
 	CoresPerChip   int // processors per chip
 	ThreadsPerCore int // hardware threads per processor (CMT)
 
+	// ChipsPerCluster groups chips into clusters, extending the flat
+	// chips×cores×threads topology to the hierarchical machines of
+	// "A Model for Communication in Clusters of Multi-core Machines":
+	// message latency and bandwidth degrade in tiers (core, chip,
+	// cluster, machine — see CostTable.LX/LC). 0 means one flat cluster,
+	// preserving the original model exactly.
+	ChipsPerCluster int
+
 	// FreqMult is the clock multiplier relative to the nominal design
 	// point. Local-op latencies scale as 1/FreqMult, per-op energies as
 	// FreqMult², so power scales as FreqMult³ (§2.1).
@@ -63,6 +71,15 @@ type CostTable struct {
 	LA, LE sim.Time
 	// Message-passing bandwidth factors g_mp_a, g_mp_e.
 	GMpA, GMpE float64
+
+	// Hierarchical message tier for clustered machines (Config.
+	// ChipsPerCluster): LX/GMpX are the chip-to-chip delay and
+	// bandwidth factor within a cluster, LC/GMpC the cluster-to-cluster
+	// ones. Zero values fall back down the hierarchy (LX→LE, LC→LX→LE,
+	// g alike), so flat cost tables — and every golden produced with
+	// them — are untouched.
+	LX, LC     sim.Time
+	GMpX, GMpC float64
 	// GMpWord is the extra per-word cost of long messages (the LogGP
 	// "big gap" G); 0 means message size is ignored.
 	GMpWord float64
@@ -85,6 +102,40 @@ func DefaultCosts() CostTable {
 		GMpA: 1, GMpE: 2,
 		WFp: 2, WInt: 1, WRead: 2, WWrite: 2, WSend: 3, WRecv: 3,
 	}
+}
+
+// EffLX returns the effective chip-to-chip message delay: LX, falling
+// back to the flat inter-processor delay LE when unset.
+func (c CostTable) EffLX() sim.Time {
+	if c.LX > 0 {
+		return c.LX
+	}
+	return c.LE
+}
+
+// EffLC returns the effective cluster-to-cluster message delay: LC,
+// falling back to EffLX when unset.
+func (c CostTable) EffLC() sim.Time {
+	if c.LC > 0 {
+		return c.LC
+	}
+	return c.EffLX()
+}
+
+// EffGMpX returns the effective chip-to-chip bandwidth factor.
+func (c CostTable) EffGMpX() float64 {
+	if c.GMpX > 0 {
+		return c.GMpX
+	}
+	return c.GMpE
+}
+
+// EffGMpC returns the effective cluster-to-cluster bandwidth factor.
+func (c CostTable) EffGMpC() float64 {
+	if c.GMpC > 0 {
+		return c.GMpC
+	}
+	return c.EffGMpX()
 }
 
 // Niagara returns the Sun Niagara configuration of Figure 1: one chip
@@ -114,6 +165,30 @@ func Generic() Config {
 	}
 }
 
+// Cluster returns a hierarchical machine of clusters×chipsPerCluster
+// chips (cores×threads each), with a tiered message cost table:
+// crossing a chip boundary within a cluster costs LX=2·LE with a
+// heavier bandwidth factor, crossing a cluster boundary costs LC=5·LE.
+// The tier ratios follow the latency hierarchies measured in "A Model
+// for Communication in Clusters of Multi-core Machines" (PAPERS.md);
+// all values stay integral so counter folds are exact in float64.
+func Cluster(clusters, chipsPerCluster, cores, threads int) Config {
+	costs := DefaultCosts()
+	costs.LX = 2 * costs.LE
+	costs.GMpX = 3
+	costs.LC = 5 * costs.LE
+	costs.GMpC = 4
+	return Config{
+		Name:            fmt.Sprintf("cluster-%dx%dx%dx%d", clusters, chipsPerCluster, cores, threads),
+		Chips:           clusters * chipsPerCluster,
+		CoresPerChip:    cores,
+		ThreadsPerCore:  threads,
+		ChipsPerCluster: chipsPerCluster,
+		FreqMult:        1,
+		Costs:           costs,
+	}
+}
+
 // SingleCore returns a 1×1×1 machine for sequential baselines.
 func SingleCore() Config {
 	return Config{
@@ -140,6 +215,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: bandwidth factors must be non-negative")
 	case c.CoreFreq != nil && len(c.CoreFreq) != c.NumCores():
 		return fmt.Errorf("machine: CoreFreq has %d entries for %d cores", len(c.CoreFreq), c.NumCores())
+	case c.ChipsPerCluster < 0:
+		return fmt.Errorf("machine: ChipsPerCluster must be non-negative, got %d", c.ChipsPerCluster)
+	case c.Costs.LX < 0 || c.Costs.LC < 0:
+		return fmt.Errorf("machine: tiered message delays must be non-negative")
+	case c.Costs.GMpX < 0 || c.Costs.GMpC < 0:
+		return fmt.Errorf("machine: tiered bandwidth factors must be non-negative")
 	}
 	for i, f := range c.CoreFreq {
 		if f <= 0 {
@@ -183,6 +264,58 @@ func (c Config) SameCore(a, b ThreadID) bool { return c.CoreOf(a) == c.CoreOf(b)
 // SameChip reports whether two threads share a chip.
 func (c Config) SameChip(a, b ThreadID) bool { return c.ChipOf(a) == c.ChipOf(b) }
 
+// NumClusters returns the cluster count (1 for flat machines).
+func (c Config) NumClusters() int {
+	if c.ChipsPerCluster <= 0 || c.ChipsPerCluster >= c.Chips {
+		return 1
+	}
+	return (c.Chips + c.ChipsPerCluster - 1) / c.ChipsPerCluster
+}
+
+// ClusterOf returns the cluster index of a thread (0 on flat machines).
+func (c Config) ClusterOf(t ThreadID) int {
+	if c.ChipsPerCluster <= 0 {
+		return 0
+	}
+	return c.ChipOf(t) / c.ChipsPerCluster
+}
+
+// SameCluster reports whether two threads share a cluster.
+func (c Config) SameCluster(a, b ThreadID) bool { return c.ClusterOf(a) == c.ClusterOf(b) }
+
+// MsgLink returns the message delay and bandwidth factor between two
+// threads under the hierarchical tier: same core → (LA, GMpA), same
+// chip → (LE, GMpE), same cluster → (LX, GMpX), else → (LC, GMpC),
+// with unset upper tiers falling back down the hierarchy. intra
+// reports the paper's intra-processor case (same core). On flat
+// machines this reproduces the original two-tier costs exactly.
+func (c Config) MsgLink(a, b ThreadID) (delay sim.Time, g float64, intra bool) {
+	switch {
+	case c.SameCore(a, b):
+		return c.Costs.LA, c.Costs.GMpA, true
+	case c.SameChip(a, b):
+		return c.Costs.LE, c.Costs.GMpE, false
+	case c.SameCluster(a, b):
+		return c.Costs.EffLX(), c.Costs.EffGMpX(), false
+	default:
+		return c.Costs.EffLC(), c.Costs.EffGMpC(), false
+	}
+}
+
+// InterChipLookahead returns the minimum virtual-time distance between
+// a cross-chip send and any effect on the destination chip — the
+// conservative lookahead window that makes per-chip kernel shards safe
+// (see sim.ShardGroup). It is the smallest cross-chip tier delay.
+func (c Config) InterChipLookahead() sim.Time {
+	l := c.Costs.EffLX()
+	if c.NumClusters() > 1 {
+		if lc := c.Costs.EffLC(); lc < l {
+			l = lc
+		}
+	}
+	return l
+}
+
 // AtFrequency returns a copy of the config running at multiplier mult of
 // the nominal clock. Local-op latencies are scaled by 1/mult (rounded up
 // to ≥ 1 tick) and per-op energies by mult², implementing the dynamic
@@ -220,7 +353,15 @@ func (c Config) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "machine %q: %d chip(s) × %d core(s) × %d thread(s) = %d hardware threads\n",
 		c.Name, c.Chips, c.CoresPerChip, c.ThreadsPerCore, c.NumThreads())
+	if c.NumClusters() > 1 {
+		fmt.Fprintf(&b, "%d cluster(s) of %d chip(s); message tiers L=%d/%d/%d/%d\n",
+			c.NumClusters(), c.ChipsPerCluster,
+			c.Costs.LA, c.Costs.LE, c.Costs.EffLX(), c.Costs.EffLC())
+	}
 	for chip := 0; chip < c.Chips; chip++ {
+		if c.NumClusters() > 1 && chip%c.ChipsPerCluster == 0 {
+			fmt.Fprintf(&b, "cluster %d\n", chip/c.ChipsPerCluster)
+		}
 		fmt.Fprintf(&b, "chip %d\n", chip)
 		for core := 0; core < c.CoresPerChip; core++ {
 			fmt.Fprintf(&b, "  core %d: threads", core)
@@ -236,12 +377,18 @@ func (c Config) Describe() string {
 }
 
 // Machine binds a Config to a simulation kernel and tracks which
-// hardware threads are occupied by simulated processes.
+// hardware threads are occupied by simulated processes. On a sharded
+// machine (NewSharded) K is shard 0 — the coordinator kernel that
+// hosts anything without a chip affinity — and each chip's events run
+// on KernelFor(t).
 type Machine struct {
 	K   *sim.Kernel
 	Cfg Config
 
 	occupancy []int // processes bound per hardware thread
+
+	sg      *sim.ShardGroup // nil on unsharded machines
+	shardOf []int           // chip → shard index (sharded only)
 }
 
 // New creates a machine on kernel k. It panics on an invalid config.
@@ -250,6 +397,59 @@ func New(k *sim.Kernel, cfg Config) *Machine {
 		panic(err)
 	}
 	return &Machine{K: k, Cfg: cfg, occupancy: make([]int, cfg.NumThreads())}
+}
+
+// NewSharded creates a machine whose chips are partitioned over the
+// shard group's kernels: chip c maps to shard c·S/Chips, so chips are
+// spread contiguously and (with ChipsPerCluster a multiple of the
+// chips-per-shard quotient) cluster boundaries align with shard
+// boundaries. It panics if the group has more shards than chips — a
+// shard with no chip could never receive work.
+func NewSharded(sg *sim.ShardGroup, cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := sg.NumShards()
+	if s > cfg.Chips {
+		panic(fmt.Sprintf("machine: %d shards for %d chips; shards must not exceed chips", s, cfg.Chips))
+	}
+	shardOf := make([]int, cfg.Chips)
+	for c := range shardOf {
+		shardOf[c] = c * s / cfg.Chips
+	}
+	return &Machine{
+		K:         sg.Shard(0),
+		Cfg:       cfg,
+		occupancy: make([]int, cfg.NumThreads()),
+		sg:        sg,
+		shardOf:   shardOf,
+	}
+}
+
+// Sharded reports whether the machine partitions chips over a shard
+// group.
+func (m *Machine) Sharded() bool { return m.sg != nil }
+
+// Shards returns the shard group, or nil for unsharded machines.
+func (m *Machine) Shards() *sim.ShardGroup { return m.sg }
+
+// ShardOfThread returns the shard index owning thread t (0 when
+// unsharded).
+func (m *Machine) ShardOfThread(t ThreadID) int {
+	if m.sg == nil {
+		return 0
+	}
+	return m.shardOf[m.Cfg.ChipOf(t)]
+}
+
+// KernelFor returns the kernel that dispatches events for thread t —
+// the shard owning t's chip, or the machine's single kernel when
+// unsharded.
+func (m *Machine) KernelFor(t ThreadID) *sim.Kernel {
+	if m.sg == nil {
+		return m.K
+	}
+	return m.sg.Shard(m.shardOf[m.Cfg.ChipOf(t)])
 }
 
 // Bind records that one more process occupies hardware thread t.

@@ -190,3 +190,139 @@ func TestPlacePropertyQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClusterTopology(t *testing.T) {
+	cfg := Cluster(2, 2, 2, 2) // 2 clusters × 2 chips × 2 cores × 2 threads
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Chips != 4 || cfg.NumThreads() != 16 {
+		t.Fatalf("Cluster(2,2,2,2): chips=%d threads=%d", cfg.Chips, cfg.NumThreads())
+	}
+	if got := cfg.NumClusters(); got != 2 {
+		t.Fatalf("NumClusters = %d, want 2", got)
+	}
+	// Threads are chip-major: chip = t/4, cluster = chip/2.
+	if cfg.ClusterOf(0) != 0 || cfg.ClusterOf(7) != 0 || cfg.ClusterOf(8) != 1 || cfg.ClusterOf(15) != 1 {
+		t.Fatalf("ClusterOf: %d %d %d %d", cfg.ClusterOf(0), cfg.ClusterOf(7), cfg.ClusterOf(8), cfg.ClusterOf(15))
+	}
+	if !cfg.SameCluster(0, 7) || cfg.SameCluster(7, 8) {
+		t.Fatal("SameCluster boundary wrong")
+	}
+	// Flat configs stay one cluster.
+	if got := Generic().NumClusters(); got != 1 {
+		t.Fatalf("Generic NumClusters = %d, want 1", got)
+	}
+	if Generic().ClusterOf(30) != 0 {
+		t.Fatal("flat ClusterOf != 0")
+	}
+}
+
+func TestMsgLinkTiers(t *testing.T) {
+	cfg := Cluster(2, 2, 2, 2)
+	cases := []struct {
+		a, b  ThreadID
+		delay sim.Time
+		g     float64
+		intra bool
+		tier  string
+	}{
+		{0, 1, cfg.Costs.LA, cfg.Costs.GMpA, true, "same core"},
+		{0, 2, cfg.Costs.LE, cfg.Costs.GMpE, false, "same chip"},
+		{0, 4, cfg.Costs.LX, cfg.Costs.GMpX, false, "same cluster"},
+		{0, 8, cfg.Costs.LC, cfg.Costs.GMpC, false, "cross cluster"},
+	}
+	for _, c := range cases {
+		d, g, intra := cfg.MsgLink(c.a, c.b)
+		if d != c.delay || g != c.g || intra != c.intra {
+			t.Errorf("%s: MsgLink(%d,%d) = (%d,%v,%v), want (%d,%v,%v)",
+				c.tier, c.a, c.b, d, g, intra, c.delay, c.g, c.intra)
+		}
+	}
+}
+
+func TestMsgLinkFlatFallback(t *testing.T) {
+	// On a flat config the upper tiers fall back to LE/GMpE, so MsgLink
+	// reproduces the original two-tier behaviour exactly.
+	cfg := Generic()
+	d, g, intra := cfg.MsgLink(0, ThreadID(cfg.NumThreads()-1))
+	if d != cfg.Costs.LE || g != cfg.Costs.GMpE || intra {
+		t.Fatalf("flat cross-chip MsgLink = (%d,%v,%v), want (%d,%v,false)", d, g, intra, cfg.Costs.LE, cfg.Costs.GMpE)
+	}
+	d, g, intra = cfg.MsgLink(0, 1)
+	if d != cfg.Costs.LA || g != cfg.Costs.GMpA || !intra {
+		t.Fatalf("flat same-core MsgLink = (%d,%v,%v)", d, g, intra)
+	}
+}
+
+func TestEffFallbackChain(t *testing.T) {
+	var ct CostTable
+	ct.LE = 20
+	ct.GMpE = 2
+	if ct.EffLX() != 20 || ct.EffLC() != 20 || ct.EffGMpX() != 2 || ct.EffGMpC() != 2 {
+		t.Fatal("unset tiers must fall back to LE/GMpE")
+	}
+	ct.LX = 40
+	ct.GMpX = 3
+	if ct.EffLC() != 40 || ct.EffGMpC() != 3 {
+		t.Fatal("unset LC must fall back to LX")
+	}
+	ct.LC = 100
+	ct.GMpC = 4
+	if ct.EffLC() != 100 || ct.EffGMpC() != 4 {
+		t.Fatal("set LC must win")
+	}
+}
+
+func TestInterChipLookahead(t *testing.T) {
+	if got := Cluster(2, 2, 2, 2).InterChipLookahead(); got != 40 {
+		t.Fatalf("clustered lookahead = %d, want 40 (LX < LC)", got)
+	}
+	if got := Generic().InterChipLookahead(); got != Generic().Costs.LE {
+		t.Fatalf("flat lookahead = %d, want LE", got)
+	}
+}
+
+func TestNewShardedMapping(t *testing.T) {
+	cfg := Cluster(2, 2, 2, 2) // 4 chips
+	sg := sim.NewShardGroup(2, cfg.InterChipLookahead())
+	m := NewSharded(sg, cfg)
+	if !m.Sharded() || m.Shards() != sg {
+		t.Fatal("sharded accessors wrong")
+	}
+	if m.K != sg.Shard(0) {
+		t.Fatal("machine coordinator kernel must be shard 0")
+	}
+	// chip·S/Chips with 4 chips, 2 shards: chips 0,1 → shard 0; 2,3 → shard 1.
+	want := []int{0, 0, 1, 1}
+	for chip, ws := range want {
+		th := ThreadID(chip * cfg.CoresPerChip * cfg.ThreadsPerCore)
+		if got := m.ShardOfThread(th); got != ws {
+			t.Errorf("chip %d shard = %d, want %d", chip, got, ws)
+		}
+		if m.KernelFor(th) != sg.Shard(ws) {
+			t.Errorf("chip %d KernelFor wrong", chip)
+		}
+	}
+	// Shard boundaries align with cluster boundaries here.
+	if m.ShardOfThread(7) != 0 || m.ShardOfThread(8) != 1 {
+		t.Fatal("shard boundary misaligned with cluster boundary")
+	}
+	// Unsharded machine: everything shard 0 / kernel K.
+	k := sim.NewKernel()
+	flat := New(k, Generic())
+	if flat.Sharded() || flat.ShardOfThread(9) != 0 || flat.KernelFor(9) != k {
+		t.Fatal("unsharded machine shard accessors wrong")
+	}
+}
+
+func TestNewShardedTooManyShardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shards > chips did not panic")
+		}
+	}()
+	NewSharded(sim.NewShardGroup(3, 10), Config{
+		Name: "tiny", Chips: 2, CoresPerChip: 1, ThreadsPerCore: 1, FreqMult: 1, Costs: DefaultCosts(),
+	})
+}

@@ -1,0 +1,98 @@
+package racedet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/jacobi"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// The detector suite under the sharded kernel: with core.DefaultShards
+// set, every NewSystem below builds a ShardGroup-driven system, so the
+// windowed dispatch loop executes the whole run. Observer-carrying
+// systems keep all groups on the coordinator shard, which pins two
+// properties at once — windowed dispatch is bit-identical to the
+// sequential kernel, and demotion keeps the detector's happens-before
+// graph complete.
+
+// withShards runs fn with the corpus-wide shard switch set, restoring
+// the sequential default afterwards.
+func withShards(shards, workers int, fn func()) {
+	core.DefaultShards, core.DefaultShardWorkers = shards, workers
+	defer func() { core.DefaultShards, core.DefaultShardWorkers = 0, 0 }()
+	fn()
+}
+
+// TestExampleGoldensUnderShards reruns both pinned example reports
+// under the sharded kernel at 1, 2 and 4 shards: the reports must be
+// byte-identical to the sequential ones.
+func TestExampleGoldensUnderShards(t *testing.T) {
+	_, wantRacy := runRacy(t)
+	_, wantFixed := runFixed(t)
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			withShards(shards, 2, func() {
+				if _, got := runRacy(t); got != wantRacy {
+					t.Errorf("racy report diverged under %d shards\n--- got ---\n%s--- want ---\n%s",
+						shards, got, wantRacy)
+				}
+				d, got := runFixed(t)
+				if got != wantFixed {
+					t.Errorf("fixed report diverged under %d shards\n--- got ---\n%s--- want ---\n%s",
+						shards, got, wantFixed)
+				}
+				if d.Report() != nil {
+					t.Errorf("fixed example reported a race under %d shards", shards)
+				}
+			})
+		})
+	}
+}
+
+// TestJacobiDetectorEquivalenceUnderShards extends the detector
+// equivalence fuzz to the sharded kernel: the same Jacobi problem,
+// detector attached, must produce bit-identical iterates, iteration
+// counts and final virtual time at 1, 2 and 4 shards.
+func TestJacobiDetectorEquivalenceUnderShards(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := jacobi.Config{
+			System: workload.NewLinearSystem(6+int(seed%5), seed),
+			Iters:  8,
+			Tol:    1e-6,
+		}
+		run := func(t *testing.T) (jacobi.Result, int64) {
+			sys := core.NewSystem(machine.Generic())
+			d := Attach(sys)
+			res, err := jacobi.Run(sys, cfg)
+			if err != nil {
+				t.Fatalf("jacobi: %v", err)
+			}
+			if r := d.Report(); r != nil {
+				t.Fatalf("jacobi reported a race:\n%s", r)
+			}
+			return res, int64(sys.K.Now())
+		}
+		base, baseT := run(t)
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+				withShards(shards, 2, func() {
+					got, gotT := run(t)
+					if gotT != baseT {
+						t.Fatalf("virtual time diverged: %d sharded, %d sequential", gotT, baseT)
+					}
+					if got.Iters != base.Iters {
+						t.Fatalf("iteration count diverged: %d sharded, %d sequential", got.Iters, base.Iters)
+					}
+					for i := range base.X {
+						if got.X[i] != base.X[i] {
+							t.Fatalf("iterate diverged at %d: %v sharded, %v sequential", i, got.X[i], base.X[i])
+						}
+					}
+				})
+			})
+		}
+	}
+}

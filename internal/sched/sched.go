@@ -137,13 +137,27 @@ func AllocateExcluding(cfg machine.Config, job Job, envelopePerCore float64, dow
 			place(i, order[idx])
 		}
 	case core.InterProc:
-		idx := 0
-		for i := 0; i < job.N; i++ {
-			for perCore[order[idx]] >= cap {
-				idx = (idx + 1) % alive
+		// Deal round-robin, but on clustered machines fill one
+		// cluster's cores before spilling to the next: the cross-
+		// cluster link is the slowest tier (L_c > L_x > L_e), so a job
+		// that fits one cluster must never pay it. Flat machines form
+		// a single group, which is exactly the old global round-robin.
+		i := 0
+		for _, grp := range clusterGroups(cfg, order) {
+			room := cap * len(grp)
+			idx := 0
+			for i < job.N && room > 0 {
+				for perCore[grp[idx]] >= cap {
+					idx = (idx + 1) % len(grp)
+				}
+				place(i, grp[idx])
+				idx = (idx + 1) % len(grp)
+				i++
+				room--
 			}
-			place(i, order[idx])
-			idx = (idx + 1) % alive
+			if i >= job.N {
+				break
+			}
 		}
 	default:
 		panic(fmt.Sprintf("sched: unknown distribution %d", job.Dist))
@@ -156,6 +170,29 @@ func AllocateExcluding(cfg machine.Config, job Job, envelopePerCore float64, dow
 	d.Reason = fmt.Sprintf("placed %d processes on %d core(s), ≤%d per core",
 		job.N, d.CoresUsed, cap)
 	return d
+}
+
+// clusterGroups partitions the (speed-ordered) usable cores by the
+// cluster they belong to, preserving order within each group. Cluster
+// order follows first appearance, so faster clusters come first on
+// heterogeneous machines. Flat machines yield one group.
+func clusterGroups(cfg machine.Config, order []int) [][]int {
+	if cfg.NumClusters() <= 1 {
+		return [][]int{order}
+	}
+	idx := map[int]int{}
+	var groups [][]int
+	for _, c := range order {
+		cl := cfg.ClusterOf(machine.ThreadID(c * cfg.ThreadsPerCore))
+		g, ok := idx[cl]
+		if !ok {
+			g = len(groups)
+			idx[cl] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], c)
+	}
+	return groups
 }
 
 // Record publishes the allocation decision as gauges, so placement and

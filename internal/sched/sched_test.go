@@ -319,3 +319,44 @@ func TestHomogeneousLayoutUnchangedByOrdering(t *testing.T) {
 		t.Fatal("overflow member not on core 1")
 	}
 }
+
+// TestInterConfinesToOneClusterWhenItFits pins the hierarchical tier
+// in placement: on a clustered machine an inter_proc job that fits one
+// cluster's cores is dealt entirely inside it (never paying L_c), and
+// a bigger job spills to the next cluster only after the first is
+// full. Flat machines keep the global round-robin unchanged.
+func TestInterConfinesToOneClusterWhenItFits(t *testing.T) {
+	cfg := machine.Cluster(2, 2, 2, 2) // 2 clusters × 2 chips × 2 cores × 2 threads
+	job := Job{Name: "ring", N: 4, PowerPerProc: 1, Dist: core.InterProc}
+	d := Allocate(cfg, job, 0)
+	if !d.Feasible {
+		t.Fatalf("infeasible: %s", d.Reason)
+	}
+	for i, th := range d.Placement {
+		if cl := cfg.ClusterOf(th); cl != 0 {
+			t.Fatalf("proc %d placed on cluster %d (thread %d); want all on cluster 0\nplacement %v",
+				i, cl, th, d.Placement)
+		}
+	}
+	if d.CoresUsed != 4 {
+		t.Fatalf("cores used = %d, want all 4 of cluster 0", d.CoresUsed)
+	}
+
+	// 10 procs > one cluster's 8 thread slots at cap 2: exactly the
+	// overflow crosses.
+	big := Job{Name: "big", N: 10, PowerPerProc: 1, Dist: core.InterProc}
+	d = Allocate(cfg, big, 0)
+	if !d.Feasible {
+		t.Fatalf("infeasible: %s", d.Reason)
+	}
+	perCluster := map[int]int{}
+	for _, th := range d.Placement {
+		perCluster[cfg.ClusterOf(th)]++
+	}
+	if perCluster[0] != 8 || perCluster[1] != 2 {
+		t.Fatalf("per-cluster counts %v, want cluster0=8 cluster1=2", perCluster)
+	}
+	if err := Verify(cfg, d, 0); err != nil {
+		t.Fatal(err)
+	}
+}

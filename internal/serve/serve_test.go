@@ -460,3 +460,54 @@ func TestRunNotFound(t *testing.T) {
 		t.Fatalf("bad spec status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestNegativeFromCursor is the regression test for the ?from= panic:
+// a negative cursor must be rejected with 400 at the HTTP layer, and
+// eventsSince itself must clamp negative positions instead of slicing
+// p.events[from:] out of range (which panicked the handler goroutine
+// on a live run).
+func TestNegativeFromCursor(t *testing.T) {
+	s, ts := newTestServer(t, 1)
+	sub := postSpec(t, ts.URL, `{"app":"jacobi","n":6,"iters":2}`)
+	id := sub["id"].(string)
+
+	// Hit the live run immediately — before waitDone — so the rejection
+	// path is exercised while events are still being appended.
+	resp, err := http.Get(ts.URL + "/runs/" + id + "/events?from=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?from=-1 on a live run: status %d, want 400", resp.StatusCode)
+	}
+
+	waitDone(t, ts.URL, id)
+
+	// The defensive clamp: eventsSince(-1) must behave as from=0, not
+	// panic.
+	run := s.get(id)
+	if run == nil {
+		t.Fatal("run disappeared")
+	}
+	evs, _, done := run.eventsSince(-1)
+	if !done {
+		t.Fatal("finished run reported not done")
+	}
+	all, _, _ := run.eventsSince(0)
+	if len(evs) != len(all) || len(evs) == 0 {
+		t.Fatalf("eventsSince(-1) returned %d events, want all %d", len(evs), len(all))
+	}
+
+	// Other malformed cursors stay rejected too.
+	resp, err = http.Get(ts.URL + "/runs/" + id + "/events?from=zap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?from=zap: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -123,6 +123,13 @@ func (r *Run) eventsSince(from int) ([]obs.Event, <-chan struct{}, bool) {
 	p := r.primary()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Clamp both ends: the HTTP layer rejects negative cursors, but the
+	// clamp must live here too — p.events[from:] on a negative index
+	// would panic the handler goroutine for any future caller that
+	// forgets the check.
+	if from < 0 {
+		from = 0
+	}
 	if from > len(p.events) {
 		from = len(p.events)
 	}

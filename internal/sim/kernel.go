@@ -110,6 +110,16 @@ type Kernel struct {
 	// exactly that (see fuzz_test.go).
 	DisableFastPath bool
 
+	// Windowed execution state (see RunUntil and shard.go). pauseAt,
+	// when nonzero, is an exclusive dispatch horizon: instead of
+	// finishing, dispatch pauses once every remaining event sits at or
+	// past the horizon — or the queue is empty with processes still
+	// live, since under sharding a neighbouring shard may yet post work
+	// for them. paused records that the last done signal was a pause,
+	// not a completion.
+	pauseAt Time
+	paused  bool
+
 	// Step-machine execution state (see step.go): the free list of
 	// recycled Proc records, the pool of idle carrier goroutines, and
 	// the runnable step proc dispatch is handing to a carrier's own
@@ -198,7 +208,12 @@ func (k *Kernel) canCoalesce(d Time) bool {
 	return k.running &&
 		!k.DisableFastPath &&
 		(k.events.Len() == 0 || k.events.min().at > k.now+d) &&
-		(k.MaxEvents <= 0 || k.dispatched < k.MaxEvents)
+		(k.MaxEvents <= 0 || k.dispatched < k.MaxEvents) &&
+		// Never coalesce across a RunUntil horizon: the skipped wake
+		// would land at or past the pause point, where a neighbouring
+		// shard's merged posts may schedule competitors it must lose
+		// FIFO ties to.
+		(k.pauseAt == 0 || k.now+d < k.pauseAt)
 }
 
 // Spawn creates a new process named name running fn and schedules its
@@ -301,6 +316,109 @@ func (k *Kernel) Run() error {
 	return k.err
 }
 
+// RunUntil dispatches events with timestamps strictly below horizon,
+// then pauses, preserving every parked process, queued event and idle
+// carrier so a later RunUntil (with a larger horizon) resumes
+// seamlessly — the primitive the shard coordinator (ShardGroup) drives
+// each lookahead window with. Within the dispatched prefix, event
+// order is identical to an unwindowed Run: pausing stops the loop, it
+// never reorders it.
+//
+// done=false means the kernel paused at the horizon. done=true means
+// it will never dispatch again on its own: either the simulation
+// completed (err == nil; spawning more work and running again remains
+// valid) or it failed (err != nil; the kernel tore down exactly as
+// under Run and is permanently stopped). A deadlock is not diagnosed
+// locally — an empty queue with live processes pauses instead, because
+// a neighbouring shard may still post the wake they are waiting for;
+// the coordinator owns global deadlock detection.
+func (k *Kernel) RunUntil(horizon Time) (done bool, err error) {
+	if k.running {
+		panic("sim: Kernel.RunUntil is not reentrant")
+	}
+	if k.stopped {
+		return true, ErrStopped
+	}
+	if horizon <= k.now {
+		panic(fmt.Sprintf("sim: RunUntil horizon %d is not after now %d", horizon, k.now))
+	}
+	k.running = true
+	k.pauseAt = horizon
+	k.paused = false
+	defer func() {
+		k.running = false
+		k.pauseAt = 0
+	}()
+
+	k.err = nil
+	k.doneSender = nil
+	k.cur = nil
+	k.dispatch(nil, nil)
+	<-k.done
+	if k.paused {
+		k.paused = false
+		return false, nil
+	}
+	return true, k.err
+}
+
+// pause suspends dispatch at the RunUntil horizon: the baton holder
+// signals completion exactly as finish does, but keeps all simulation
+// state intact. The verdict mirrors an ordinary baton handoff — a
+// parked process blocks on its resume channel, a carrier parks on the
+// idle pool and then its own channel, and a bare dispatcher
+// (RunUntil's seed, a finished process's trailing dispatch) stops.
+// After the done send the pausing goroutine touches only its own
+// channel, so the coordinator may immediately start the next window.
+func (k *Kernel) pause(self *Proc, c *carrier) batonState {
+	k.paused = true
+	k.cur = nil
+	if c != nil {
+		k.idleCarriers = append(k.idleCarriers, c)
+	}
+	k.done <- struct{}{}
+	if self != nil || c != nil {
+		// A carrier was enqueued on the idle pool above and must park
+		// on its channel, not exit: a later window's handToCarrier may
+		// pick it. batonStop here would leak a dead carrier into the
+		// pool and strand the proc handed to it.
+		return batonPassed
+	}
+	return batonStop
+}
+
+// NextEventAt returns the timestamp of the earliest queued event;
+// ok=false when the queue is empty. The shard coordinator uses it to
+// compute each window's floor.
+func (k *Kernel) NextEventAt() (Time, bool) {
+	if k.events.Len() == 0 {
+		return 0, false
+	}
+	return k.events.min().at, true
+}
+
+// Live returns the number of spawned and not yet finished processes.
+func (k *Kernel) Live() int { return k.live }
+
+// AbortPaused tears down a kernel that is not running — paused by
+// RunUntil, or idle — from coordinator context: every parked process
+// unwinds through its deferred functions exactly as an error-terminated
+// Run unwinds it, and the kernel is left permanently stopped. The shard
+// coordinator calls it on surviving shards after another shard fails or
+// on global deadlock, so no goroutine outlives a failed sharded run.
+// Aborting an already-stopped kernel is a no-op.
+func (k *Kernel) AbortPaused() {
+	if k.running {
+		panic("sim: AbortPaused on a running kernel")
+	}
+	if k.stopped {
+		return
+	}
+	k.stopped = true
+	k.drainCarriers()
+	k.teardown(nil)
+}
+
 // batonState is dispatch's verdict on where the baton went.
 type batonState uint8
 
@@ -354,6 +472,11 @@ const (
 // and therefore every virtual-time result — is unchanged.
 func (k *Kernel) dispatch(self *Proc, c *carrier) batonState {
 	for {
+		if k.pauseAt > 0 {
+			if n := k.events.Len(); (n == 0 && k.live > 0) || (n > 0 && k.events.min().at >= k.pauseAt) {
+				return k.pause(self, c)
+			}
+		}
 		if k.events.Len() == 0 {
 			if k.live == 0 {
 				k.finish(nil, self)

@@ -252,6 +252,9 @@ func (p *Proc) park() {
 // Join blocks until other's body has returned. Joining an already-done
 // process returns immediately.
 func (p *Proc) Join(other *Proc) {
+	if other.k != p.k {
+		panic(fmt.Sprintf("sim: %q joining %q across kernels (shards); cross-shard joins are unsupported", p.name, other.name))
+	}
 	if other.state == stateDone {
 		if k := p.k; k.probe != nil {
 			k.probe.ProcJoin(p, other)

@@ -331,6 +331,9 @@ func (p *Proc) StepHold(d Time) bool {
 // and the activation must return its continuation, which runs when
 // other finishes — the same wake Join's park would receive.
 func (p *Proc) StepJoin(other *Proc) bool {
+	if other.k != p.k {
+		panic("sim: StepJoin across kernels (shards); cross-shard joins are unsupported")
+	}
 	if other.state == stateDone {
 		if k := p.k; k.probe != nil {
 			k.probe.ProcJoin(p, other)
