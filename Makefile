@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-smoke bench-allocgate check fmt vet lint race race-shard ckpt-fuzz e2e
+.PHONY: all build test bench bench-smoke bench-allocgate check fmt vet lint lint-fast race race-shard ckpt-fuzz e2e
 
 all: build
 
@@ -46,10 +46,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# go vet plus the repo's own STAMP-aware analyzers (cmd/stamplint):
-# determinism, map-iteration order, uncharged backdoors, S-round misuse,
-# checkpoint-unsafe region element types.
+# go vet plus stampvet, the repo's own STAMP-aware analyzer engine
+# (cmd/stamplint): determinism, map-iteration order, uncharged
+# backdoors, S-round misuse, checkpoint-unsafe region element types,
+# pooled-batch escapes, shard-safety, step-continuation safety and
+# charge-flow accounting. -nocache forces a full from-source run.
 lint: vet
+	$(GO) run ./cmd/stamplint -nocache ./...
+
+# Same suite with the per-package result cache (keyed by export-data
+# hash): packages whose sources and dependency cones are unchanged
+# skip parsing, type-checking and analysis entirely.
+lint-fast:
 	$(GO) run ./cmd/stamplint ./...
 
 race: race-shard
@@ -77,10 +85,10 @@ e2e:
 ckpt-fuzz:
 	$(GO) test -run 'TestKillRestoreEquivalence|TestDoubleCrashRestore' -count=1 ./internal/ckpt
 
-# The PR gate: everything must build, lint (go vet + stamplint) and be
-# gofmt-clean, the simulator, core, experiment harness, observability,
+# The PR gate: everything must build, lint (go vet + cached stamplint)
+# and be gofmt-clean, the simulator, core, experiment harness, observability,
 # race-detector and checkpoint packages must pass under the Go race
 # detector, the checkpoint kill/restore fuzz must hold bit-for-bit, and
 # every benchmark must at least run.
-check: build lint fmt race ckpt-fuzz bench-smoke
+check: build vet lint-fast fmt race ckpt-fuzz bench-smoke
 	$(GO) test ./...

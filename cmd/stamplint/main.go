@@ -1,15 +1,15 @@
-// Command stamplint runs the repo's STAMP-aware analyzer suite (see
-// internal/lint) over package patterns, go vet-style:
+// Command stamplint runs stampvet, the repo's STAMP-aware analyzer
+// engine (see internal/lint), over package patterns, go vet-style:
 //
 //	stamplint ./...
-//	stamplint -v ./internal/experiments/...
+//	stamplint -format sarif ./internal/experiments/...
+//	stamplint -diff origin/main ./...
 //
 // Exit status 0 means clean, 1 means findings (or unused/malformed
 // //stamplint:allow annotations), 2 means the load itself failed.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -17,43 +17,10 @@ import (
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "also list every //stamplint:allow annotation in force")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: stamplint [-v] [packages]\n\nChecks:\n")
-		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
-		}
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 	dir, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stamplint:", err)
-		os.Exit(2)
+		os.Exit(lint.ExitError)
 	}
-	pkgs, err := lint.Load(dir, patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "stamplint:", err)
-		os.Exit(2)
-	}
-	res := lint.Analyze(pkgs, lint.Analyzers())
-	for _, f := range res.Findings {
-		fmt.Println(f)
-	}
-	if *verbose {
-		for _, a := range res.Annotations {
-			if a.Malformed == "" {
-				fmt.Printf("%s: allow %s: %s\n", a.Pos, a.Check, a.Reason)
-			}
-		}
-	}
-	if len(res.Findings) > 0 {
-		fmt.Fprintf(os.Stderr, "stamplint: %d finding(s) in %d package(s)\n", len(res.Findings), len(pkgs))
-		os.Exit(1)
-	}
+	os.Exit(lint.CLI(dir, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -86,6 +86,7 @@ func main() {
 		case 1: // transformer: square each item
 			for i := 0; i < items; i++ {
 				v := raw.take(ctx)
+				//stamplint:allow sround: async pipeline stages stream items; free-floating charges are the point of this example
 				ctx.IntOps(1)
 				cooked.put(ctx, v*v)
 			}

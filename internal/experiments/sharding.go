@@ -54,6 +54,7 @@ func runShardingRingRounds(shards, workers, rounds int) shardingDigest {
 			len(pl),
 			func(c *core.Ctx) {
 				if c.Index() == 0 {
+					//stamplint:allow shardsafe: groups is fully populated before Run and read-only afterwards
 					next := groups[(chip+1)%nChips].Ctxs()[0].Endpoint()
 					for r := 0; r < rounds; r++ {
 						c.SRound(func() {

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// engineVersion invalidates every cache entry when the engine or any
+// check changes behaviour. Bump it alongside analyzer changes.
+const engineVersion = "stampvet-1"
+
+// cacheEntry is one package's saved analysis: post-suppression
+// findings, the annotation census, and the function summaries
+// downstream packages propagate from. A hit skips the package's parse,
+// type-check, facts pass and checks entirely.
+type cacheEntry struct {
+	Version     string
+	Findings    []Finding
+	Annotations []Annotation
+	Facts       map[string]savedFacts
+}
+
+// savedFacts is FuncFacts flattened for JSON.
+type savedFacts struct {
+	Facts uint8
+	Via   map[string]string // fact name -> callee
+}
+
+func (e *cacheEntry) facts() *PkgFacts {
+	pf := &PkgFacts{Funcs: map[string]*FuncFacts{}}
+	byName := map[string]Fact{}
+	for bit, name := range factNames {
+		byName[name] = bit
+	}
+	for id, sf := range e.Facts {
+		ff := &FuncFacts{Facts: Fact(sf.Facts), Via: map[Fact]string{}}
+		for name, via := range sf.Via {
+			if bit, ok := byName[name]; ok {
+				ff.Via[bit] = via
+			}
+		}
+		pf.Funcs[id] = ff
+	}
+	return pf
+}
+
+func entryFromResult(pf *PkgFacts, findings []Finding, anns []Annotation) *cacheEntry {
+	e := &cacheEntry{
+		Version:     engineVersion,
+		Findings:    findings,
+		Annotations: anns,
+		Facts:       map[string]savedFacts{},
+	}
+	for id, ff := range pf.Funcs {
+		sf := savedFacts{Facts: uint8(ff.Facts), Via: map[string]string{}}
+		for bit, via := range ff.Via {
+			sf.Via[factNames[bit]] = via
+		}
+		e.Facts[id] = sf
+	}
+	return e
+}
+
+// cacheKey identifies the package's analysis inputs. The export file's
+// basename is a toolchain build-cache action ID — a content hash over
+// the package's sources AND its whole dependency cone — so it changes
+// whenever anything that could alter findings or facts changes. The
+// engine version covers our own behaviour.
+func (p *Pkg) cacheKey() string {
+	if p.exportBase == "" {
+		return ""
+	}
+	h := sha256.Sum256([]byte(engineVersion + "\x00" + p.Path + "\x00" + p.exportBase))
+	return hex.EncodeToString(h[:16])
+}
+
+// cache is a best-effort per-package result store: misses and IO
+// errors just mean recomputation.
+type cache struct {
+	dir string
+}
+
+func (c *cache) get(key string) (*cacheEntry, bool) {
+	if key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != engineVersion {
+		return nil, false
+	}
+	return &e, true
+}
+
+func (c *cache) put(key string, e *cacheEntry) {
+	if key == "" {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	if os.MkdirAll(c.dir, 0o755) != nil {
+		return
+	}
+	tmp := filepath.Join(c.dir, key+".tmp")
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(c.dir, key+".json"))
+}

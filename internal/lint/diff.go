@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// lineRange is a half-open [start, start+count) span of changed lines
+// in the new version of a file.
+type lineRange struct {
+	start, count int
+}
+
+func (r lineRange) contains(line int) bool {
+	if r.count == 0 {
+		// A pure deletion hunk marks the line it deleted at; treat the
+		// anchor line as changed so findings adjacent to removals still
+		// surface.
+		return line == r.start
+	}
+	return line >= r.start && line < r.start+r.count
+}
+
+// ChangedLines runs `git diff --unified=0 <ref>` in dir and returns
+// the changed-line ranges of the new files, keyed by path relative to
+// the repository root (forward slashes).
+func ChangedLines(dir, ref string) (map[string][]lineRange, error) {
+	cmd := exec.Command("git", "diff", "--unified=0", "--no-color", ref, "--", ".")
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: git diff %s: %v\n%s", ref, err, errb.String())
+	}
+	return parseUnifiedDiff(out.String()), nil
+}
+
+// parseUnifiedDiff extracts new-file line ranges from unified=0 diff
+// text: "+++ b/<path>" names the file, "@@ -a,b +c,d @@" names the
+// changed span c..c+d in it.
+func parseUnifiedDiff(diff string) map[string][]lineRange {
+	ranges := map[string][]lineRange{}
+	var file string
+	sc := bufio.NewScanner(strings.NewReader(diff))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "+++ "):
+			name := strings.TrimPrefix(line, "+++ ")
+			name = strings.TrimPrefix(name, "b/")
+			if name == "/dev/null" {
+				file = ""
+			} else {
+				file = name
+			}
+		case strings.HasPrefix(line, "@@ ") && file != "":
+			// @@ -oldStart[,oldCount] +newStart[,newCount] @@
+			fields := strings.Fields(line)
+			for _, f := range fields[1:] {
+				if !strings.HasPrefix(f, "+") {
+					continue
+				}
+				spec := strings.TrimPrefix(f, "+")
+				startS, countS, hasCount := strings.Cut(spec, ",")
+				start, err := strconv.Atoi(startS)
+				if err != nil {
+					continue
+				}
+				count := 1
+				if hasCount {
+					if count, err = strconv.Atoi(countS); err != nil {
+						continue
+					}
+				}
+				ranges[file] = append(ranges[file], lineRange{start, count})
+				break
+			}
+		}
+	}
+	return ranges
+}
+
+// gitTopLevel returns the repository root containing dir.
+func gitTopLevel(dir string) (string, error) {
+	cmd := exec.Command("git", "rev-parse", "--show-toplevel")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: git rev-parse --show-toplevel: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// FilterChanged keeps only findings on lines changed since ref,
+// resolving finding paths against the git repository containing dir.
+func FilterChanged(dir, ref string, findings []Finding) ([]Finding, error) {
+	changed, err := ChangedLines(dir, ref)
+	if err != nil {
+		return nil, err
+	}
+	top, err := gitTopLevel(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, f := range findings {
+		rel := relPath(top, f.Pos.Filename)
+		for _, r := range changed[rel] {
+			if r.contains(f.Pos.Line) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,7 +1,14 @@
-// Package lint implements stamplint, the repo's STAMP-aware analyzer
-// suite (cmd/stamplint). It is stdlib-only — go/ast, go/parser and
-// go/types over `go list -export` data, in the style of go vet — and
-// enforces the discipline the paper's cost formulas assume:
+// Package lint implements stampvet, the repo's STAMP-aware analyzer
+// engine (cmd/stamplint). It is stdlib-only — go/ast, go/parser and
+// go/types over `go list -export` data, in the style of go vet — built
+// around a whole-program layer: per-package function summaries
+// (may-block, spawns-goroutine, uses-channel/sync-lock,
+// touches-region, issues-charge) computed bottom-up along the module's
+// import DAG and consumed by the checks through a lightweight static
+// call graph, with per-package analysis running in parallel and
+// results cached by export-data hash.
+//
+// The suite enforces the discipline the paper's cost formulas assume:
 //
 //   - determinism: no wall-clock time or global math/rand in the
 //     deterministic packages (the simulator and everything above it
@@ -15,12 +22,22 @@
 //     opens an S-round, and no nested S-units/S-rounds (the model's
 //     structural grammar);
 //   - ckptsafe: no region element types the checkpoint layer cannot
-//     serialize (raw pointers, funcs, channels, interfaces) — they
-//     would fail at snapshot time, far from the allocation;
+//     serialize (raw pointers, funcs, channels, interfaces);
 //   - poolsafe: no escapes of the pooled receive batch a StepRecvN
 //     callback is handed — the slice is overwritten by the next
-//     receive, so retaining it (or a pointer into it) reads stale
-//     messages later, far from the callback that leaked it.
+//     receive;
+//   - shardsafe: no mutable state shared between group bodies that can
+//     be homed to different shards, and no raw goroutines, channel ops
+//     or sync locking reachable from simulated code — both bypass
+//     virtual time and break the bit-identical sharding guarantee;
+//   - stepsafe: no step-continuation misuse — loop-shared variables
+//     captured across core.Step boundaries, *core.Ctx retained in
+//     package-level state, pooled batch types declared on step-record
+//     structs;
+//   - chargeflow: no loops over data inside charged contexts (group
+//     bodies, Ctx-taking helpers, step segments) whose work is never
+//     charged to the model — unaccounted compute silently corrupts T,
+//     E, P and the §3.1 drift gauges.
 //
 // A finding is silenced, one site at a time, with an annotation on the
 // same or the preceding line:
@@ -34,7 +51,9 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Finding is one rule violation at one position.
@@ -48,7 +67,9 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
 }
 
-// Analyzer is one check run over every loaded package.
+// Analyzer is one check run over every loaded target package. Run sees
+// the package after the whole program's function summaries are
+// computed, so it may consult p.Prog for call-graph facts.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -64,6 +85,9 @@ func Analyzers() []*Analyzer {
 		SRound(),
 		Ckptsafe(),
 		Poolsafe(),
+		Shardsafe(),
+		Stepsafe(),
+		Chargeflow(),
 	}
 }
 
@@ -81,53 +105,120 @@ var DeterministicPkgs = map[string]bool{
 	"repro/internal/experiments": true,
 }
 
-// Result is the outcome of analyzing a set of packages.
+// Result is the outcome of analyzing a program.
 type Result struct {
 	Findings    []Finding
 	Annotations []Annotation
 }
 
-// Analyze runs every analyzer over every package, applies annotation
-// suppression, and reports unused/malformed annotations as findings.
-// The returned findings are sorted by position.
-func Analyze(pkgs []*Pkg, analyzers []*Analyzer) Result {
+// Analyze runs every analyzer over every target package in prog (in
+// parallel — packages are independent once facts exist), applies
+// annotation suppression, reports unused/malformed annotations as
+// findings, deduplicates identical findings, and returns everything
+// sorted by position. Cached packages contribute their saved results.
+func (prog *Program) Analyze(analyzers []*Analyzer) Result {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var res Result
-	for _, p := range pkgs {
-		anns := collectAnnotations(p, known)
-		var raw []Finding
-		for _, a := range analyzers {
-			raw = append(raw, a.Run(p)...)
+
+	type pkgResult struct {
+		findings []Finding
+		anns     []Annotation
+	}
+	results := make([]pkgResult, len(prog.Pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range prog.Pkgs {
+		if !p.Target {
+			continue
 		}
-		for _, f := range raw {
-			if suppress(anns, f) {
+		wg.Add(1)
+		go func(i int, p *Pkg) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if p.cached != nil {
+				results[i] = pkgResult{p.cached.Findings, p.cached.Annotations}
+				return
+			}
+			findings, anns := analyzePkg(p, analyzers, known)
+			results[i] = pkgResult{findings, anns}
+			if prog.cache != nil {
+				prog.cache.put(p.cacheKey(), entryFromResult(prog.facts[p.Path], findings, anns))
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	var res Result
+	seen := map[string]bool{}
+	for _, r := range results {
+		for _, f := range r.findings {
+			// Two analyzers (or two rules of one) can land the same
+			// diagnostic on the same position; report it once.
+			key := f.Pos.String() + "\x00" + f.Check + "\x00" + f.Message
+			if seen[key] {
 				continue
 			}
+			seen[key] = true
 			res.Findings = append(res.Findings, f)
 		}
-		for _, a := range anns {
-			if a.Malformed != "" {
-				res.Findings = append(res.Findings, Finding{
-					Pos:     a.Pos,
-					Check:   "annotation",
-					Message: a.Malformed,
-				})
-			} else if !a.Used {
-				res.Findings = append(res.Findings, Finding{
-					Pos:     a.Pos,
-					Check:   "annotation",
-					Message: fmt.Sprintf("unused //stamplint:allow %s annotation (nothing to suppress here)", a.Check),
-				})
-			}
-			res.Annotations = append(res.Annotations, *a)
-		}
+		res.Annotations = append(res.Annotations, r.anns...)
 	}
-	sort.Slice(res.Findings, func(i, j int) bool { return posLess(res.Findings[i].Pos, res.Findings[j].Pos) })
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos != b.Pos {
+			return posLess(a.Pos, b.Pos)
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
 	sort.Slice(res.Annotations, func(i, j int) bool { return posLess(res.Annotations[i].Pos, res.Annotations[j].Pos) })
 	return res
+}
+
+// analyzePkg runs the suite over one parsed package: raw findings,
+// in-package dedup, suppression, annotation findings.
+func analyzePkg(p *Pkg, analyzers []*Analyzer, known map[string]bool) ([]Finding, []Annotation) {
+	anns := collectAnnotations(p, known)
+	var raw []Finding
+	for _, a := range analyzers {
+		raw = append(raw, a.Run(p)...)
+	}
+	var findings []Finding
+	dup := map[string]bool{}
+	for _, f := range raw {
+		key := f.Pos.String() + "\x00" + f.Check + "\x00" + f.Message
+		if dup[key] {
+			continue
+		}
+		dup[key] = true
+		if suppress(anns, f) {
+			continue
+		}
+		findings = append(findings, f)
+	}
+	var out []Annotation
+	for _, a := range anns {
+		if a.Malformed != "" {
+			findings = append(findings, Finding{
+				Pos:     a.Pos,
+				Check:   "annotation",
+				Message: a.Malformed,
+			})
+		} else if !a.Used {
+			findings = append(findings, Finding{
+				Pos:     a.Pos,
+				Check:   "annotation",
+				Message: fmt.Sprintf("unused //stamplint:allow %s annotation (nothing to suppress here)", a.Check),
+			})
+		}
+		out = append(out, *a)
+	}
+	return findings, out
 }
 
 func posLess(a, b token.Position) bool {

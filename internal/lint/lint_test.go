@@ -23,13 +23,28 @@ type Ctx struct{}
 func (c *Ctx) SUnit(fn func())  { fn() }
 func (c *Ctx) SRound(fn func()) { fn() }
 func (c *Ctx) IntOps(n int64)   {}
+func (c *Ctx) FpOps(n int64)    {}
 func (c *Ctx) Barrier()         {}
+
+type Step func(c *Ctx) Step
 
 type Attrs struct{}
 type Group struct{}
 type System struct{}
+type GroupOption struct{}
+
+func ShardByPlacement() GroupOption { return GroupOption{} }
 
 func (s *System) NewGroup(name string, a Attrs, n int, body func(*Ctx)) *Group { return &Group{} }
+func (s *System) NewGroupOpts(name string, a Attrs, n int, body func(*Ctx), opts ...GroupOption) *Group {
+	return &Group{}
+}
+func (s *System) NewStepGroup(name string, a Attrs, n int, body func(*Ctx) Step) *Group {
+	return &Group{}
+}
+func (s *System) NewStepGroupOpts(name string, a Attrs, n int, body func(*Ctx) Step, opts ...GroupOption) *Group {
+	return &Group{}
+}
 `,
 	"internal/msgpass/msgpass.go": `package msgpass
 
@@ -224,6 +239,166 @@ func Regions() {
 	_ = memory.NewRegion[*int64]("scratch", 8)
 }
 `,
+
+	// Shardsafe: shared mutable captures across shard-homed bodies, and
+	// raw concurrency reachable from a group body via the summaries.
+	"shard/shard.go": `package shard
+
+import "repro/internal/core"
+
+func SpawnLoop(sys *core.System) {
+	total := int64(0)
+	for chip := 0; chip < 4; chip++ {
+		sys.NewGroupOpts("g", core.Attrs{}, 2, func(ctx *core.Ctx) {
+			ctx.SUnit(func() { ctx.SRound(func() { ctx.IntOps(1) }) })
+			total++ // finding: shardsafe (loop-shared mutable capture)
+		}, core.ShardByPlacement())
+		_ = chip
+	}
+	_ = total
+}
+
+func TwoSites(sys *core.System) {
+	shared := make([]int64, 8)
+	sys.NewGroupOpts("a", core.Attrs{}, 2, func(ctx *core.Ctx) {
+		ctx.SUnit(func() { ctx.SRound(func() { shared[0]++; ctx.IntOps(1) }) }) // finding: shardsafe
+	}, core.ShardByPlacement())
+	sys.NewGroupOpts("b", core.Attrs{}, 2, func(ctx *core.Ctx) {
+		ctx.SUnit(func() { ctx.SRound(func() { shared[1]++; ctx.IntOps(1) }) }) // finding: shardsafe
+	}, core.ShardByPlacement())
+}
+
+func spawnHelper() {
+	go func() {}()
+}
+
+func Reaches(sys *core.System) {
+	sys.NewGroup("r", core.Attrs{}, 1, func(ctx *core.Ctx) {
+		ctx.SUnit(func() { ctx.SRound(func() { ctx.IntOps(1) }) })
+		spawnHelper() // finding: shardsafe (reaches a raw go via the summary)
+	})
+}
+
+func ReadOnly(sys *core.System) {
+	input := []int64{1, 2, 3}
+	sys.NewGroupOpts("ro", core.Attrs{}, 2, func(ctx *core.Ctx) {
+		ctx.SUnit(func() { ctx.SRound(func() { ctx.IntOps(input[0]) }) }) // fine: never mutated
+	}, core.ShardByPlacement())
+}
+`,
+
+	// Shardsafe: direct raw concurrency in a deterministic package.
+	"internal/experiments/exp.go": `package experiments
+
+func HostSpawn(done chan struct{}) {
+	go func() { done <- struct{}{} }() // findings: shardsafe (go stmt + send)
+	<-done                             // finding: shardsafe (receive)
+}
+
+func Allowed(done chan struct{}) {
+	//stamplint:allow shardsafe: harness-level fan-out outside the simulated run
+	<-done
+}
+`,
+
+	// Stepsafe: loop-shared captures, Ctx retention, pooled batch
+	// fields; step-group bodies are exempt from sround.
+	"stepx/stepx.go": `package stepx
+
+import (
+	"repro/internal/core"
+	"repro/internal/msgpass"
+)
+
+var GlobalCtx *core.Ctx
+
+func Retain(ctx *core.Ctx) {
+	GlobalCtx = ctx // finding: stepsafe (Ctx retained in package state)
+}
+
+type badRecord struct {
+	next  core.Step
+	batch []msgpass.Message // finding: stepsafe (pooled batch field)
+}
+
+type goodRecord struct {
+	ctx  *core.Ctx // fine: member-record idiom
+	next core.Step
+	last msgpass.Message
+}
+
+func LoopCapture() []core.Step {
+	var steps []core.Step
+	sum := int64(0)
+	for i := 0; i < 4; i++ {
+		sum += int64(i)
+		steps = append(steps, func(c *core.Ctx) core.Step {
+			c.IntOps(sum) // finding: stepsafe (loop mutates captured sum)
+			return nil
+		})
+	}
+	return steps
+}
+
+func PerIteration() []core.Step {
+	var steps []core.Step
+	for i := 0; i < 4; i++ {
+		n := int64(i)
+		steps = append(steps, func(c *core.Ctx) core.Step {
+			c.IntOps(n) // fine: per-iteration copy
+			return nil
+		})
+	}
+	return steps
+}
+
+func StepGroup(sys *core.System) {
+	sys.NewStepGroup("sg", core.Attrs{}, 2, func(c *core.Ctx) core.Step {
+		c.IntOps(1) // fine: step bodies structure rounds via StepRound*
+		return nil
+	})
+}
+`,
+
+	// Chargeflow: uncharged data loops in charged contexts.
+	"charge/charge.go": `package charge
+
+import "repro/internal/core"
+
+func Uncharged(ctx *core.Ctx, data []int64) int64 {
+	s := int64(0)
+	for _, v := range data { // finding: chargeflow (no charge in segment)
+		s += v
+	}
+	return s
+}
+
+func ChargedAfter(ctx *core.Ctx, data []int64) int64 {
+	s := int64(0)
+	for _, v := range data { // fine: charged after the loop, same segment
+		s += v
+	}
+	ctx.IntOps(int64(len(data)))
+	return s
+}
+
+func NotCharged(data []int64) int64 {
+	s := int64(0)
+	for _, v := range data { // fine: not a charged context
+		s += v
+	}
+	return s
+}
+
+func Allowed(ctx *core.Ctx, vals []int64) int64 {
+	var n int64
+	//stamplint:allow chargeflow: scan is harness bookkeeping, not modeled work
+	for _, v := range vals {
+		n += v
+	}
+	return n
+}
+`,
 }
 
 func writeFixture(t *testing.T) string {
@@ -244,11 +419,11 @@ func writeFixture(t *testing.T) string {
 func analyzeFixture(t *testing.T) Result {
 	t.Helper()
 	dir := writeFixture(t)
-	pkgs, err := Load(dir, []string{"./..."})
+	prog, err := LoadProgram(dir, []string{"./..."}, LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Analyze(pkgs, Analyzers())
+	return prog.Analyze(Analyzers())
 }
 
 // has reports whether a finding for check exists whose position ends
@@ -278,27 +453,38 @@ func TestFixtureFindings(t *testing.T) {
 	res := analyzeFixture(t)
 
 	want := []struct{ check, site string }{
-		{"determinism", "internal/sim/sim.go:9"},  // time.Now
-		{"determinism", "internal/sim/sim.go:10"}, // rand.Intn
-		{"maprange", "internal/sim/sim.go:21"},    // BadWalk
-		{"annotation", "internal/sim/sim.go:39"},  // unused
-		{"annotation", "internal/sim/sim.go:42"},  // no reason
-		{"annotation", "internal/sim/sim.go:45"},  // unknown check
-		{"backdoor", "use/use.go:9"},              // Peek in Extract
-		{"sround", "use/use.go:19"},               // Roundless body
-		{"sround", "use/use.go:25"},               // ViaVar body
-		{"sround", "use/use.go:44"},               // nested round
-		{"sround", "use/use.go:45"},               // unit inside round
-		{"sround", "use/use.go:48"},               // nested unit
-		{"ckptsafe", "use/use.go:60"},             // chan field
-		{"ckptsafe", "use/use.go:61"},             // pointer element
-		{"ckptsafe", "use/use.go:62"},             // func element
-		{"ckptsafe", "use/use.go:63"},             // interface element
-		{"poolsafe", "steps/steps.go:15"},         // batch to outer var
-		{"poolsafe", "steps/steps.go:16"},         // subslice through field
-		{"poolsafe", "steps/steps.go:17"},         // element pointer escape
-		{"poolsafe", "steps/steps.go:18"},         // slice-header append
-		{"poolsafe", "steps/steps.go:19"},         // closure capture
+		{"determinism", "internal/sim/sim.go:9"},       // time.Now
+		{"determinism", "internal/sim/sim.go:10"},      // rand.Intn
+		{"maprange", "internal/sim/sim.go:21"},         // BadWalk
+		{"annotation", "internal/sim/sim.go:39"},       // unused
+		{"annotation", "internal/sim/sim.go:42"},       // no reason
+		{"annotation", "internal/sim/sim.go:45"},       // unknown check
+		{"backdoor", "use/use.go:9"},                   // Peek in Extract
+		{"sround", "use/use.go:19"},                    // Roundless body
+		{"sround", "use/use.go:25"},                    // ViaVar body
+		{"sround", "use/use.go:44"},                    // nested round
+		{"sround", "use/use.go:45"},                    // unit inside round
+		{"sround", "use/use.go:48"},                    // nested unit
+		{"ckptsafe", "use/use.go:60"},                  // chan field
+		{"ckptsafe", "use/use.go:61"},                  // pointer element
+		{"ckptsafe", "use/use.go:62"},                  // func element
+		{"ckptsafe", "use/use.go:63"},                  // interface element
+		{"poolsafe", "steps/steps.go:15"},              // batch to outer var
+		{"poolsafe", "steps/steps.go:16"},              // subslice through field
+		{"poolsafe", "steps/steps.go:17"},              // element pointer escape
+		{"poolsafe", "steps/steps.go:18"},              // slice-header append
+		{"poolsafe", "steps/steps.go:19"},              // closure capture
+		{"shardsafe", "shard/shard.go:10"},             // loop-shared capture
+		{"shardsafe", "shard/shard.go:20"},             // two-site capture (a)
+		{"shardsafe", "shard/shard.go:23"},             // two-site capture (b)
+		{"shardsafe", "shard/shard.go:34"},             // reaches raw go via summary
+		{"shardsafe", "internal/experiments/exp.go:4"}, // raw go stmt + send (two findings)
+		{"shardsafe", "internal/experiments/exp.go:4"},
+		{"shardsafe", "internal/experiments/exp.go:5"}, // raw receive
+		{"stepsafe", "stepx/stepx.go:11"},              // Ctx retention
+		{"stepsafe", "stepx/stepx.go:16"},              // pooled batch field
+		{"stepsafe", "stepx/stepx.go:31"},              // loop-shared capture
+		{"chargeflow", "charge/charge.go:7"},           // uncharged data loop
 	}
 	for _, w := range want {
 		if !has(res, w.check, w.site) {
@@ -336,10 +522,10 @@ func TestFixtureSuppressionAndCounts(t *testing.T) {
 			used++
 		}
 	}
-	if total != 7 {
-		t.Errorf("counted %d annotations, want 7", total)
+	if total != 9 {
+		t.Errorf("counted %d annotations, want 9", total)
 	}
-	if used != 4 {
-		t.Errorf("%d annotations marked used, want 4 (AllowedWalk maprange + Seed backdoor + Regions ckptsafe + Allowed poolsafe)", used)
+	if used != 6 {
+		t.Errorf("%d annotations marked used, want 6 (maprange + backdoor + ckptsafe + poolsafe + shardsafe + chargeflow)", used)
 	}
 }

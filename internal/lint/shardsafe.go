@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shardsafe guards the bit-identical sharding guarantee. A sharded run
+// is only equivalent to a sequential one if every cross-shard effect
+// flows through the message layer under the conservative lookahead
+// window; state that bypasses it breaks the proof two ways, and the
+// check covers both:
+//
+//  1. Shared mutable captures. Bodies of ShardByPlacement groups run
+//     on per-chip kernels that advance concurrently. A mutable
+//     variable captured by bodies homed to different shards — two
+//     spawn sites, or one spawn site inside a loop capturing a
+//     variable declared outside the loop — is host shared memory
+//     crossing shards with no virtual-time ordering: a data race in
+//     wall time and nondeterminism in virtual time. Captures that are
+//     read-only after spawn are safe; annotate them with why.
+//
+//  2. Raw host concurrency. A `go` statement, channel operation or
+//     sync lock in a deterministic package (or reachable from a group
+//     body anywhere, via the function summaries) schedules work on the
+//     host clock, invisible to virtual time. The kernel's own use of
+//     these is the mechanism and is exempt; everything above it must
+//     block and communicate through the model.
+func Shardsafe() *Analyzer {
+	return &Analyzer{
+		Name: "shardsafe",
+		Doc:  "flag mutable state shared across shard-homed bodies and raw host concurrency in simulated code",
+		Run: func(p *Pkg) []Finding {
+			if mechanismPkgs[p.Path] {
+				return nil
+			}
+			var out []Finding
+			out = append(out, sharedCaptureFindings(p)...)
+			out = append(out, rawConcurrencyFindings(p)...)
+			return out
+		},
+	}
+}
+
+// sharedCaptureFindings implements rule 1 over every file's spawn
+// sites.
+func sharedCaptureFindings(p *Pkg) []Finding {
+	written := writtenObjs(p)
+	type capture struct {
+		v    *types.Var
+		pos  token.Pos
+		call *ast.CallExpr
+	}
+	var out []Finding
+	var all []capture
+	for _, f := range p.Files {
+		loops := loopsIn(f)
+		for _, b := range groupBodiesIn(p, f) {
+			if !b.sharded || b.lit == nil {
+				continue
+			}
+			enclosing := enclosingLoops(loops, b.call.Pos())
+			for v, pos := range freeVars(p, b.lit) {
+				if !written[v] {
+					continue // never mutated after declaration: a plain input
+				}
+				if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+					continue // captured funcs are code, not shared data
+				}
+				all = append(all, capture{v, pos, b.call})
+				// A spawn site inside a loop creates one group per
+				// iteration, homed to different shards; any mutable
+				// capture declared outside the loop is shared by all
+				// of them.
+				for _, l := range enclosing {
+					if v.Pos() < l.start || v.Pos() > l.end {
+						out = append(out, Finding{
+							Pos:   p.Fset.Position(pos),
+							Check: "shardsafe",
+							Message: fmt.Sprintf("shard-homed group bodies spawned in a loop share the mutable variable %q declared outside it; cross-shard state must flow through the message layer (or annotate why it is read-only once the run starts)",
+								v.Name()),
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+	// Two distinct spawn sites capturing the same mutable variable.
+	byVar := map[*types.Var][]capture{}
+	for _, c := range all {
+		byVar[c.v] = append(byVar[c.v], c)
+	}
+	for v, cs := range byVar {
+		sites := map[*ast.CallExpr]bool{}
+		for _, c := range cs {
+			sites[c.call] = true
+		}
+		if len(sites) < 2 {
+			continue
+		}
+		for _, c := range cs {
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(c.pos),
+				Check: "shardsafe",
+				Message: fmt.Sprintf("mutable variable %q is captured by shard-homed group bodies at %d spawn sites; groups on different shards must not share host state (or annotate why it is read-only once the run starts)",
+					v.Name(), len(sites)),
+			})
+		}
+	}
+	return out
+}
+
+// rawConcurrency names the host-concurrency facts rule 2 rejects.
+const rawConcurrency = FactSpawnsGoroutine | FactUsesChannel | FactUsesSyncLock
+
+// rawConcurrencyFindings implements rule 2: direct raw concurrency in
+// deterministic packages, and (in any package) group bodies whose
+// static callees reach raw concurrency per the summaries.
+func rawConcurrencyFindings(p *Pkg) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, what string) {
+		out = append(out, Finding{
+			Pos:   p.Fset.Position(pos),
+			Check: "shardsafe",
+			Message: what + " runs on the host clock, invisible to virtual time; simulated code must block and communicate through the kernel" +
+				" (or annotate why this is outside the simulated run)",
+		})
+	}
+
+	if DeterministicPkgs[p.Path] {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.GoStmt:
+					report(x.Pos(), "raw go statement")
+				case *ast.SendStmt:
+					report(x.Pos(), "raw channel send")
+				case *ast.SelectStmt:
+					report(x.Pos(), "raw select")
+				case *ast.UnaryExpr:
+					if x.Op == token.ARROW {
+						report(x.Pos(), "raw channel receive")
+					}
+				case *ast.CallExpr:
+					if fn := calleeOf(p, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && syncLockNames[fn.Name()] {
+						report(x.Pos(), "sync."+recvTypeName(fn)+fn.Name()+" locking")
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Group bodies anywhere: direct raw ops inside the body, and calls
+	// to module functions whose summaries reach raw concurrency.
+	for _, f := range p.Files {
+		seen := map[ast.Node]bool{}
+		for _, b := range groupBodiesIn(p, f) {
+			body := b.bodyNode()
+			if seen[body] {
+				continue
+			}
+			seen[body] = true
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.GoStmt:
+					if !DeterministicPkgs[p.Path] { // already reported above otherwise
+						report(x.Pos(), "raw go statement in a group body")
+					}
+				case *ast.CallExpr:
+					fn := calleeOf(p, x)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					ff := p.Prog.FactsOf(fn)
+					if ff == nil || mechanismPkgs[fn.Pkg().Path()] || observerPkgs[fn.Pkg().Path()] {
+						return true
+					}
+					if bad := ff.Facts & rawConcurrency; bad != 0 {
+						via := ""
+						for bit := range factNames {
+							if bad&bit != 0 {
+								if v := ff.Via[bit]; v != "" {
+									via = " via " + v
+								}
+								break
+							}
+						}
+						report(x.Pos(), fmt.Sprintf("group body reaches %s (%s%s)", (bad).String(), shortName(funcID(fn)), via))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// recvTypeName renders "Mutex." style prefixes for lock findings.
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "."
+	}
+	return ""
+}

@@ -125,101 +125,48 @@ func nestingFindings(p *Pkg, f *ast.File) []Finding {
 	return out
 }
 
-// roundlessBodies flags group-body literals that perform charged
-// substrate work but never open an S-round or S-unit anywhere.
+// roundlessBodies flags group bodies that perform charged substrate
+// work but never open an S-round or S-unit anywhere. Body resolution
+// (inline literal, ident-bound literal, named function) is the shared
+// spawn-site layer in bodies.go; step-group bodies are exempt because
+// their round structure lives in StepRoundBegin/StepRoundEnd, not in
+// ctx.SRound callbacks.
 func roundlessBodies(p *Pkg, f *ast.File) []Finding {
-	// Map local `name := func(ctx *core.Ctx) {...}` bindings so bodies
-	// passed to NewGroup by name are found too.
-	bound := map[types.Object]*ast.FuncLit{}
-	ast.Inspect(f, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
-			return true
-		}
-		for i, lhs := range as.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			lit, ok := as.Rhs[i].(*ast.FuncLit)
-			if !ok {
-				continue
-			}
-			if obj := p.Info.Defs[id]; obj != nil {
-				bound[obj] = lit
-			}
-		}
-		return true
-	})
-
-	seen := map[*ast.FuncLit]bool{}
+	seen := map[ast.Node]bool{}
 	var out []Finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	for _, b := range groupBodiesIn(p, f) {
+		body := b.bodyNode()
+		if b.step || seen[body] {
+			continue
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
+		seen[body] = true
+		if fnd, flagged := checkBody(p, body); flagged {
+			out = append(out, fnd)
 		}
-		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/core" {
-			return true
-		}
-		if fn.Name() != "NewGroup" && fn.Name() != "NewGroupOpts" {
-			return true
-		}
-		for _, arg := range call.Args {
-			var lit *ast.FuncLit
-			switch a := arg.(type) {
-			case *ast.FuncLit:
-				lit = a
-			case *ast.Ident:
-				if obj := p.Info.Uses[a]; obj != nil {
-					lit = bound[obj]
-				}
-			}
-			if lit == nil || seen[lit] || !isGroupBody(p, lit) {
-				continue
-			}
-			seen[lit] = true
-			if fnd, flagged := checkBody(p, lit); flagged {
-				out = append(out, fnd)
-			}
-		}
-		return true
-	})
+	}
 	return out
 }
 
-// isGroupBody reports whether lit has the func(*core.Ctx) shape.
-func isGroupBody(p *Pkg, lit *ast.FuncLit) bool {
-	sig, ok := p.Info.TypeOf(lit).(*types.Signature)
-	if !ok || sig.Params().Len() != 1 {
-		return false
-	}
-	return isCtxPtr(sig.Params().At(0).Type())
-}
-
+// isCtxPtr reports whether t is *core.Ctx, seeing through aliases
+// (the public stamp package re-exports Ctx as a type alias).
 func isCtxPtr(t types.Type) bool {
-	ptr, ok := t.(*types.Pointer)
+	ptr, ok := types.Unalias(t).(*types.Pointer)
 	if !ok {
 		return false
 	}
-	named, ok := ptr.Elem().(*types.Named)
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
 	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
 	return named.Obj().Pkg().Path() == "repro/internal/core" && named.Obj().Name() == "Ctx"
 }
 
-// checkBody scans one group-body literal: charged work with no
-// structural call anywhere inside it is a finding.
-func checkBody(p *Pkg, lit *ast.FuncLit) (Finding, bool) {
+// checkBody scans one group body: charged work with no structural
+// call anywhere inside it is a finding.
+func checkBody(p *Pkg, body ast.Node) (Finding, bool) {
 	hasStructure := false
 	var firstCharge *ast.CallExpr
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

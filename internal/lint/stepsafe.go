@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Stepsafe guards the step-machine execution mode (core.Step). A step
+// body is a goroutine body turned inside out: each continuation runs
+// later, after the kernel has advanced other members and recycled
+// pooled records, so state that was safe to hold across a blocking
+// call in a goroutine body can be stale by the time a continuation
+// runs. Three rules, each a way step code goes wrong:
+//
+//  1. Loop-shared captures. A Step literal created inside a loop that
+//     captures a variable declared outside the loop and mutated by it
+//     observes the variable's final value, not the iteration's — the
+//     continuation runs after the loop has moved on. Bind a
+//     per-iteration copy.
+//
+//  2. Ctx retention. A *core.Ctx stored into package-level state
+//     outlives the activation frame it was handed to: anything reading
+//     it later (another member, a host goroutine, post-run code) can
+//     issue charges outside the owning process's virtual time.
+//     Member-record fields are the idiom and are fine; globals are
+//     not.
+//
+//  3. Pooled batch fields. A struct that carries step continuations
+//     (core.Step or StepRecvN-callback fields) and also declares a
+//     []msgpass.Message field is built to retain the pooled receive
+//     batch across activations — the buffer is overwritten by the
+//     next receive. Copy messages into owned storage instead; this is
+//     poolsafe's taint rule applied to the type that would launder it.
+func Stepsafe() *Analyzer {
+	return &Analyzer{
+		Name: "stepsafe",
+		Doc:  "flag step-continuation misuse: loop-shared captures, Ctx retention, pooled batch fields",
+		Run: func(p *Pkg) []Finding {
+			if p.Path == "repro/internal/core" || p.Path == "repro/internal/sim" {
+				return nil // the step machinery itself
+			}
+			var out []Finding
+			for _, f := range p.Files {
+				out = append(out, loopSharedCaptures(p, f)...)
+				out = append(out, ctxRetention(p, f)...)
+				out = append(out, pooledBatchFields(p, f)...)
+			}
+			return out
+		},
+	}
+}
+
+// isStepType reports whether t is (or aliases) core.Step.
+func isStepType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "repro/internal/core" && named.Obj().Name() == "Step"
+}
+
+// isStepShaped reports whether t is a function type producing a
+// core.Step: a step continuation, a StepRecvN callback, a segment
+// builder.
+func isStepShaped(t types.Type) bool {
+	sig, ok := types.Unalias(t).(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Results().Len() == 1 && isStepType(sig.Results().At(0).Type())
+}
+
+// loopSharedCaptures implements rule 1.
+func loopSharedCaptures(p *Pkg, f *ast.File) []Finding {
+	loops := loopsIn(f)
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if t := p.Info.TypeOf(lit); t == nil || !isStepShaped(t) {
+			return true
+		}
+		reported := map[*types.Var]bool{}
+		for _, l := range enclosingLoops(loops, lit.Pos()) {
+			mutated := loopWrites(p, l)
+			for v, pos := range freeVars(p, lit) {
+				if reported[v] {
+					continue
+				}
+				if v.Pos() >= l.start && v.Pos() <= l.end {
+					continue // declared per-iteration: safe
+				}
+				if !mutated[v] {
+					continue
+				}
+				reported[v] = true
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(pos),
+					Check: "stepsafe",
+					Message: fmt.Sprintf("Step continuation captures %q, which the enclosing loop mutates; the continuation runs after the loop has moved on and sees the final value — bind a per-iteration copy",
+						v.Name()),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopWrites returns the objects assigned or incremented inside l.
+func loopWrites(p *Pkg, l loopSpan) map[types.Object]bool {
+	mutated := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				mutated[obj] = true
+			}
+		}
+	}
+	ast.Inspect(l.node, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				mark(lhs) // Uses-only resolution: := definitions don't mark
+			}
+		case *ast.IncDecStmt:
+			mark(s.X)
+		}
+		return true
+	})
+	return mutated
+}
+
+// ctxRetention implements rule 2: a *core.Ctx value assigned to a
+// package-level variable, or stored through one (global map/slice
+// element, field of a global).
+func ctxRetention(p *Pkg, f *ast.File) []Finding {
+	var out []Finding
+	isPkgLevel := func(e ast.Expr) (string, bool) {
+		id := baseIdent(e)
+		if id == nil {
+			return "", false
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return "", false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Name(), true
+		}
+		return "", false
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			t := p.Info.TypeOf(rhs)
+			if t == nil || !isCtxPtr(t) {
+				continue
+			}
+			if name, pkgLevel := isPkgLevel(as.Lhs[i]); pkgLevel {
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(rhs.Pos()),
+					Check: "stepsafe",
+					Message: fmt.Sprintf("*core.Ctx stored in package-level %q outlives its activation; code reading it later charges outside the owning process's virtual time — keep the Ctx in the member record it was handed to",
+						name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// pooledBatchFields implements rule 3.
+func pooledBatchFields(p *Pkg, f *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		hasStep := false
+		var batchField *ast.Field
+		for _, fld := range st.Fields.List {
+			t := p.Info.TypeOf(fld.Type)
+			if t == nil {
+				continue
+			}
+			if isStepType(t) || isStepShaped(t) {
+				hasStep = true
+			}
+			if messageSlice(t) && batchField == nil {
+				batchField = fld
+			}
+		}
+		if hasStep && batchField != nil {
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(batchField.Pos()),
+				Check: "stepsafe",
+				Message: fmt.Sprintf("step record %q declares a []msgpass.Message field; the StepRecvN batch is pooled and overwritten by the next receive — copy the messages you keep into owned storage",
+					ts.Name.Name),
+			})
+		}
+		return true
+	})
+	return out
+}
