@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: all build test bench bench-smoke bench-allocgate check fmt vet lint lint-fast race race-shard ckpt-fuzz e2e
+.PHONY: all build test bench bench-smoke bench-allocgate check fmt vet lint lint-fast race race-shard ckpt-fuzz flake-hunt e2e
 
 all: build
 
@@ -84,6 +84,15 @@ e2e:
 # checkpoint blobs plus a diff into $CKPT_FAIL_DIR if it is set.
 ckpt-fuzz:
 	$(GO) test -run 'TestKillRestoreEquivalence|TestDoubleCrashRestore' -count=1 ./internal/ckpt
+
+# Execution-equivalence flake hunt: FLAKE_HUNT_N fresh randomized seeds
+# (wall-clock master seed, every run new territory) through the kill,
+# step-vs-goroutine, fast-path and shard equivalence fuzzes. Every seed
+# is logged; reproduce a failure exactly with
+# `make flake-hunt FLAKE_HUNT_SEED=<master seed from the log>`.
+FLAKE_HUNT_N ?= 500
+flake-hunt:
+	FLAKE_HUNT_N=$(FLAKE_HUNT_N) FLAKE_HUNT_SEED=$(FLAKE_HUNT_SEED) $(GO) test -run 'TestFlakeHunt' -count=1 -v ./internal/sim/
 
 # The PR gate: everything must build, lint (go vet + cached stamplint)
 # and be gofmt-clean, the simulator, core, experiment harness, observability,

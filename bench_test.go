@@ -192,7 +192,7 @@ func BenchmarkKernels_Cookbook(b *testing.B) { runExperiment(b, "kernels") }
 // --- §5 future work: optimizer -----------------------------------------------------
 
 func BenchmarkOptimizer_MetricTable(b *testing.B) { runExperiment(b, "optimizer") }
-func BenchmarkAdaptive_Reallocation(b *testing.B) { runExperiment(b, "adaptive") }
+func BenchmarkAdaptive_Reallocation(b *testing.B) { runExperiment(b, "realloc") }
 
 // --- Ablations -----------------------------------------------------------------
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/adapt"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -49,6 +50,15 @@ type Config struct {
 	// checkpoint does not carry. Nil disables checkpointing entirely —
 	// the run is byte-identical to one built without this field.
 	Ckpt *ckpt.Controller
+	// Adapt, when non-nil, runs the self-adaptive controller's loop at
+	// every iteration boundary (adapt.Controller.Sync): members may be
+	// live-migrated to new threads between iterations, carrying their
+	// component and convergence state through the checkpoint machinery.
+	// When both Ckpt and Adapt are set, the checkpoint commits first —
+	// at the undisturbed consistency instant — and migration follows.
+	// Nil disables adaptation entirely; the run is byte-identical to
+	// one built without this field.
+	Adapt *adapt.Controller
 }
 
 // Update carries one component's new value plus its per-iteration delta
@@ -166,6 +176,15 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 		for t := it0; !terminated; t++ {
 			if ck != nil {
 				ck.Commit(ctx, t, CkptWords, State{It: t, Xi: xi, PrevDelta: prevOwnDelta})
+			}
+			if cfg.Adapt != nil {
+				// The adaptive loop may migrate this member; its loop
+				// state rides the migration image, so continue from the
+				// implanted values — the round trip is what pins
+				// migration fidelity.
+				st := State{It: t, Xi: xi, PrevDelta: prevOwnDelta}
+				cfg.Adapt.Sync(ctx, t, &st)
+				xi, prevOwnDelta = st.Xi, st.PrevDelta
 			}
 			ctx.SUnit(func() {
 				ctx.IntOps(1) // while-condition check (part of T_c)
@@ -323,6 +342,13 @@ func (m *member) loopTop(c *core.Ctx) core.Step {
 	}
 	if m.ck != nil {
 		m.ck.Commit(c, m.t, CkptWords, State{It: m.t, Xi: m.xi, PrevDelta: m.prevOwnDelta})
+	}
+	if m.cfg.Adapt != nil {
+		// Mirror of the goroutine body: state rides the migration image
+		// and the loop continues from the implanted values.
+		st := State{It: m.t, Xi: m.xi, PrevDelta: m.prevOwnDelta}
+		m.cfg.Adapt.Sync(c, m.t, &st)
+		m.xi, m.prevOwnDelta = st.Xi, st.PrevDelta
 	}
 	c.StepUnitBegin()
 	c.IntOps(1) // while-condition check (part of T_c)

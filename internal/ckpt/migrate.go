@@ -1,0 +1,61 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Per-proc extract/implant: the migration primitive. A full Snapshot
+// captures the whole system at a barrier generation and restores it
+// into a fresh run; a live migration only needs one member's image —
+// its accounting snapshot, its arrived-but-unreceived inbox and its
+// gob-encoded application state — captured at the consistency instant,
+// carried across a placement change (core.Ctx.Rebind), and implanted
+// back without touching the rest of the system. The image round-trips
+// through the same MemberState encoding Commit persists, so anything a
+// checkpoint can restore, a migration can carry.
+
+// ExtractMember captures the member's migration image at the current
+// instant: call it from the member's own process at a barrier
+// generation, outside any S-unit or S-round (Ctx.Snapshot enforces
+// this). state is the member's application loop state, as passed to
+// Commit; nil means the member carries no application payload.
+func ExtractMember(ctx *core.Ctx, state any) (MemberState, error) {
+	var buf bytes.Buffer
+	if state != nil {
+		if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+			return MemberState{}, fmt.Errorf("ckpt: encode member %d state: %w", ctx.Index(), err)
+		}
+	}
+	return MemberState{
+		Index: ctx.Index(),
+		Ctx:   ctx.Snapshot(),
+		Inbox: ctx.Endpoint().SnapshotInbox(),
+		App:   buf.Bytes(),
+	}, nil
+}
+
+// ImplantMember restores a migration image into the live member at the
+// same virtual instant it was extracted: accounting state immediately
+// (Ctx.RestoreNow), inbox in FIFO order, and — when state is non-nil —
+// the application payload decoded into it. The extract → rebind →
+// implant round trip is what makes a migrated run bit-identical to a
+// static run on the final placement once the move's model costs are
+// zeroed: every charge counter, fractional-carry residue and queued
+// message crosses the move unchanged.
+func ImplantMember(ctx *core.Ctx, ms MemberState, state any) error {
+	if ms.Index != ctx.Index() {
+		return fmt.Errorf("ckpt: implant of member %d image into member %d", ms.Index, ctx.Index())
+	}
+	ctx.RestoreNow(ms.Ctx)
+	ctx.Endpoint().RestoreInbox(ms.Inbox)
+	if state != nil && len(ms.App) > 0 {
+		if err := gob.NewDecoder(bytes.NewReader(ms.App)).Decode(state); err != nil {
+			return fmt.Errorf("ckpt: decode member %d state: %w", ms.Index, err)
+		}
+	}
+	return nil
+}

@@ -160,13 +160,16 @@ func (sys *System) newGroupShell(name string, attrs Attrs, n int, opts []GroupOp
 	}
 
 	g := &Group{
-		sys:       sys,
-		name:      name,
-		attrs:     attrs,
-		n:         n,
-		k:         k,
-		bar:       sim.NewBarrier(k, n),
-		placement: pl,
+		sys:   sys,
+		name:  name,
+		attrs: attrs,
+		n:     n,
+		k:     k,
+		bar:   sim.NewBarrier(k, n),
+		// The group owns its placement: live migration (Ctx.Rebind)
+		// updates it in place, which must never reach back into the
+		// caller's slice (e.g. a sched.Decision reused for a second run).
+		placement: append(Placement(nil), pl...),
 	}
 	order := gc.startOrder
 	if order != nil {

@@ -63,6 +63,23 @@ func (c *Ctx) applyRestore(s *CtxSnapshot) {
 	}
 }
 
+// RestoreNow overwrites the member's charge and measurement state from
+// a snapshot immediately — the live-migration counterpart of
+// RestoreMember's staged restore. It must be called by the member's own
+// process at a quiescent point (outside any S-unit or S-round), at the
+// same virtual instant the snapshot was taken: restoring across time
+// would rewind T while the kernel clock runs on.
+func (c *Ctx) RestoreNow(s CtxSnapshot) {
+	if c.inUnit || c.inRound {
+		panic("core: RestoreNow inside an S-unit or S-round")
+	}
+	if s.Index != c.idx {
+		panic(fmt.Sprintf("core: RestoreNow on member %d with snapshot of member %d", c.idx, s.Index))
+	}
+	c.flush()
+	c.applyRestore(&s)
+}
+
 // RestoreMember stages a checkpointed snapshot for member i: it is
 // applied when the member's process activates, before its body runs.
 // Call between NewGroupOpts and the system run.

@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// CapSchedule is a time-varying per-core power envelope: a step
+// function over virtual time. The paper's allocation story (§4, §5)
+// fixes one envelope up front; real machines tighten and relax it
+// mid-run (thermal events, battery budgets, co-tenant arrivals), which
+// is one of the disruption signals the adaptive runtime reacts to —
+// either by re-placing processes under the new cap or by scaling
+// frequency down (the §2.1 f³ law) when no compliant placement exists.
+type CapSchedule struct {
+	// Initial is the envelope in effect from t=0 until the first step.
+	// Zero or negative means "unlimited", as everywhere in sched.
+	Initial float64
+	// Steps are the cap changes, strictly ascending in From.
+	Steps []CapStep
+}
+
+// CapStep is one envelope change: from virtual time From on, the
+// per-core cap is Cap.
+type CapStep struct {
+	From sim.Time
+	Cap  float64
+}
+
+// ConstantCap is the schedule that never changes — the static envelope
+// the rest of the repo uses.
+func ConstantCap(cap float64) CapSchedule { return CapSchedule{Initial: cap} }
+
+// Validate checks that the steps are strictly ascending in time.
+func (s CapSchedule) Validate() error {
+	for i := 1; i < len(s.Steps); i++ {
+		if s.Steps[i].From <= s.Steps[i-1].From {
+			return fmt.Errorf("energy: cap schedule steps not strictly ascending at index %d (%d after %d)",
+				i, s.Steps[i].From, s.Steps[i-1].From)
+		}
+	}
+	return nil
+}
+
+// CapAt returns the per-core envelope in effect at virtual time t.
+func (s CapSchedule) CapAt(t sim.Time) float64 {
+	// Find the last step with From <= t.
+	i := sort.Search(len(s.Steps), func(i int) bool { return s.Steps[i].From > t })
+	if i == 0 {
+		return s.Initial
+	}
+	return s.Steps[i-1].Cap
+}
+
+// NextChange returns the time of the first cap change strictly after t;
+// ok is false when the schedule is constant from t on.
+func (s CapSchedule) NextChange(t sim.Time) (at sim.Time, ok bool) {
+	i := sort.Search(len(s.Steps), func(i int) bool { return s.Steps[i].From > t })
+	if i == len(s.Steps) {
+		return 0, false
+	}
+	return s.Steps[i].From, true
+}
+
+// ThrottleMult returns the frequency multiplier that brings a core
+// dissipating power p under cap: power scales as f³ (§2.1), so the
+// compliant multiplier is ∛(cap/p), clamped to at most 1 (the runtime
+// only throttles down; overclocking is not a recovery action). A cap
+// of zero or below means unlimited and a non-positive p cannot violate
+// any cap; both return 1.
+func ThrottleMult(p, cap float64) float64 {
+	if cap <= 0 || p <= 0 || p <= cap {
+		return 1
+	}
+	return math.Cbrt(cap / p)
+}

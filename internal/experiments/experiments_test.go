@@ -8,7 +8,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"adaptive", "airline", "apsp", "bandwidth", "bank", "distribution",
 		"dvfs", "envelope", "fabric", "faults", "fig1", "gating", "jacobi", "kappa", "kernels",
-		"managers", "models", "optimizer", "recovery", "sharding", "table1"}
+		"managers", "models", "optimizer", "realloc", "recovery", "sharding", "table1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v, want %v", got, want)

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/jacobi"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("realloc", "§5 closed loop: measure power, detect envelope violation, re-place, continue within budget", runRealloc)
+}
+
+// runRealloc demonstrates the paper's conclusion in action: "reducing
+// inter-processor communication ... would maximize the performance
+// within the given power envelope of a single processor or increasing
+// the number of distributed/parallel processes (and assigning them to
+// inter-processor threads) would be needed ... to meet the power
+// limit." We start Jacobi packed greedily (fast but hot), *measure*
+// the per-core power, detect the violation, ask the allocator for a
+// compliant placement, and continue the same iteration warm-started —
+// an adaptive reallocation driven entirely by the model's quantities.
+func runRealloc() Result {
+	const n = 8
+	cfg := machine.Niagara()
+	// The paper's 3(x+y)·w_int envelope is calibrated against the
+	// *worst-case* per-process bound; measured Jacobi power runs ~3×
+	// below that bound, so an adaptive (measurement-driven) controller
+	// would never trip it. Use a tight measured-scale envelope instead:
+	// the point here is the feedback loop, not the static bound.
+	const env = 5.0
+
+	ls := workload.NewLinearSystem(n, 404)
+	t := newTable()
+	var checks []Check
+
+	// Phase 1: greedy packing — all 8 processes on cores 0–1 (4 per
+	// core), the placement a power-oblivious scheduler would pick.
+	greedy := make(core.Placement, n)
+	for i := range greedy {
+		greedy[i] = machine.ThreadID(i)
+	}
+	sysA := core.NewSystem(cfg)
+	ph1, err := jacobi.Run(sysA, jacobi.Config{System: ls, Iters: 4, Placement: greedy})
+	if err != nil {
+		panic(err)
+	}
+	rep1 := ph1.Report()
+	pc1 := rep1.PowerPerCore(cfg, cfg.Costs)
+	worst1 := 0.0
+	//stamplint:allow maprange: max over the values is order-independent
+	for _, p := range pc1 {
+		if p > worst1 {
+			worst1 = p
+		}
+	}
+
+	t.row("phase", "placement", "T", "worst core P", "envelope", "compliant")
+	t.row(1, "greedy 4/core", rep1.T(), fmt.Sprintf("%.3f", worst1),
+		fmt.Sprintf("%.1f", env), worst1 <= env)
+	checks = append(checks, check("greedy packing violates the envelope (the trigger)",
+		worst1 > env, "P=%.3f env=%.0f", worst1, env))
+
+	// Reallocation: the measured per-process power feeds the allocator.
+	perProc := worst1 / 4 // four identical processes shared the hot core
+	d := sched.Allocate(cfg, sched.Job{
+		Name: "jacobi", N: n, PowerPerProc: perProc, Dist: core.IntraProc,
+	}, env)
+	checks = append(checks, check("allocator finds a compliant placement", d.Feasible, "%s", d.Reason))
+	checks = append(checks, check("compliant placement caps threads per core",
+		d.ThreadsPerCoreCap < 4, "cap=%d", d.ThreadsPerCoreCap))
+
+	// Phase 2: continue the same solve warm-started on the compliant
+	// placement.
+	sysB := core.NewSystem(cfg)
+	ph2, err := jacobi.Run(sysB, jacobi.Config{
+		System: ls, Iters: 12, Placement: d.Placement, X0: ph1.X,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep2 := ph2.Report()
+	pc2 := rep2.PowerPerCore(cfg, cfg.Costs)
+	worst2 := 0.0
+	//stamplint:allow maprange: max over the values is order-independent
+	for _, p := range pc2 {
+		if p > worst2 {
+			worst2 = p
+		}
+	}
+	t.row(2, d.Reason, rep2.T(), fmt.Sprintf("%.3f", worst2),
+		fmt.Sprintf("%.1f", env), worst2 <= env)
+	checks = append(checks, check("re-placed phase runs within the envelope",
+		worst2 <= env, "P=%.3f env=%.0f", worst2, env))
+
+	// Correctness across the migration: warm start + 12 more iterations
+	// equals 16 straight iterations of the reference.
+	seq, _ := jacobi.Sequential(ls, 16, 0)
+	same := true
+	for i := range seq {
+		if d := ph2.X[i] - seq[i]; d > 1e-9 || d < -1e-9 {
+			same = false
+		}
+	}
+	checks = append(checks, check("iterate survives the migration bit-exactly", same, ""))
+	resid := ls.Residual(ph2.X)
+	t.row("")
+	t.row("final residual after 4+12 iterations", fmt.Sprintf("%.3g", resid))
+
+	return Result{ID: "realloc", Title: Title("realloc"), Table: t.String(), Checks: checks}
+}

@@ -25,10 +25,12 @@ type CoreFailure struct {
 // signal a controller catches to re-place the remaining work on the
 // surviving cores (sched.AllocateExcluding) and warm-start.
 type Plan struct {
-	sys    *core.System
-	down   map[int]bool
-	killed []string
-	fired  []CoreFailure
+	sys      *core.System
+	down     map[int]bool
+	killed   []string
+	fired    []CoreFailure
+	failover bool
+	grace    sim.Time
 
 	// OnFire, when non-nil, is called at the top of every failure event,
 	// before any process is killed. The checkpoint layer uses it to log
@@ -52,7 +54,30 @@ func ArmCoreFailures(sys *core.System, events ...CoreFailure) *Plan {
 	return pl
 }
 
-// fail marks the core down and kills its bound processes.
+// EnableFailover switches the plan to fail-over semantics: a firing
+// failure marks its core down and is WAL-visible through OnFire and
+// the event stream, but instead of killing immediately it opens a
+// grace window of the given length — the failure detector's advance
+// warning (a correctable-error storm, a thermal trip) before the core
+// actually dies. The adaptive controller (internal/adapt) observes
+// the fired failure at the next barrier generation and live-migrates
+// the core's processes off it; whatever is still bound to the core
+// when the grace expires is killed exactly as in fail-stop mode. A
+// run that migrates in time loses nothing and reports the fifth
+// recovery mode, RecoverMigrate; a run that ignores the warning falls
+// back into the ordinary kill/recovery path. Call before any failure
+// fires. A grace of 0 means the warning and the kill coincide, which
+// still lets pre-armed placements (already off the core) survive.
+func (pl *Plan) EnableFailover(grace sim.Time) {
+	if grace < 0 {
+		panic("fault: negative fail-over grace")
+	}
+	pl.failover = true
+	pl.grace = grace
+}
+
+// fail marks the core down and kills its bound processes; in
+// fail-over mode the kill is deferred by the grace window instead.
 func (pl *Plan) fail(ev CoreFailure) {
 	if pl.OnFire != nil {
 		pl.OnFire(ev)
@@ -63,6 +88,17 @@ func (pl *Plan) fail(ev CoreFailure) {
 		return
 	}
 	pl.down[ev.Core] = true
+	if pl.failover {
+		pl.emitFired(ev, 0)
+		pl.sys.K.Schedule(pl.grace, func() { pl.emitFired(ev, pl.killCore(ev.Core)) })
+		return
+	}
+	pl.emitFired(ev, pl.killCore(ev.Core))
+}
+
+// killCore kills every not-yet-finished process still bound to a
+// hardware thread of the core, returning how many it killed.
+func (pl *Plan) killCore(coreIdx int) int {
 	cfg := pl.sys.M.Cfg
 	nKilled := 0
 	for _, g := range pl.sys.Groups() {
@@ -71,7 +107,7 @@ func (pl *Plan) fail(ev CoreFailure) {
 			if p.Done() || p.Killed() {
 				continue
 			}
-			if cfg.CoreOf(c.Thread()) != ev.Core {
+			if cfg.CoreOf(c.Thread()) != coreIdx {
 				continue
 			}
 			pl.killed = append(pl.killed, p.Name())
@@ -79,7 +115,7 @@ func (pl *Plan) fail(ev CoreFailure) {
 			nKilled++
 		}
 	}
-	pl.emitFired(ev, nKilled)
+	return nKilled
 }
 
 // emitFired publishes a fired failure on the event stream, after its
@@ -133,9 +169,15 @@ const (
 	// restore it and replay, losing only the work since the last
 	// checkpoint.
 	RecoverRestoreCkpt
+	// RecoverMigrate: the failure fired in fail-over mode (EnableFailover)
+	// and every threatened process was live-migrated off the core within
+	// the grace window (adapt.Controller) — nothing was killed and no
+	// work was lost.
+	RecoverMigrate
 )
 
-// String returns "none", "warm-start", "restart" or "restore-ckpt".
+// String returns "none", "warm-start", "restart", "restore-ckpt" or
+// "migrate".
 func (m RecoveryMode) String() string {
 	switch m {
 	case RecoverNone:
@@ -146,6 +188,8 @@ func (m RecoveryMode) String() string {
 		return "restart"
 	case RecoverRestoreCkpt:
 		return "restore-ckpt"
+	case RecoverMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("RecoveryMode(%d)", uint8(m))
 }
@@ -157,6 +201,9 @@ func (m RecoveryMode) String() string {
 // an all-members-lost failure falls back to checkpoint restore, and
 // only a total loss with no checkpoint forces a from-scratch restart.
 func (pl *Plan) Recovery(groupSize int, snapshotAvailable bool) RecoveryMode {
+	if pl.failover && len(pl.fired) > 0 && len(pl.killed) == 0 {
+		return RecoverMigrate
+	}
 	if len(pl.killed) == 0 {
 		return RecoverNone
 	}

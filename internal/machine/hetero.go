@@ -27,6 +27,34 @@ func (c Config) WithCoreFreq(freq []float64) Config {
 	return s
 }
 
+// SetCoreMult changes one core's frequency multiplier on a live
+// machine — the DVFS actuation behind the adaptive controller's
+// throttle response (internal/adapt). Time already charged keeps the
+// cost computed at charge time; only later operations on the core see
+// the new clock, so callers must apply it at a quiescent instant (a
+// barrier generation, with batched compute flushed) for the accounting
+// to stay deterministic. Note that the energy report applies one
+// per-core scale to a member's whole op history (energy.EnergyScaled),
+// so a mid-run clock change coarsens E on the throttled core — the
+// same whole-run granularity Config.AtFrequency has always had. The
+// multiplier must be positive.
+func (m *Machine) SetCoreMult(core int, mult float64) {
+	if core < 0 || core >= m.Cfg.NumCores() {
+		panic(fmt.Sprintf("machine: SetCoreMult core %d out of range", core))
+	}
+	if mult <= 0 {
+		panic(fmt.Sprintf("machine: SetCoreMult(%d, %g): multiplier must be positive", core, mult))
+	}
+	if m.Cfg.CoreFreq == nil {
+		f := make([]float64, m.Cfg.NumCores())
+		for i := range f {
+			f[i] = 1
+		}
+		m.Cfg.CoreFreq = f
+	}
+	m.Cfg.CoreFreq[core] = mult
+}
+
 // BigLittle returns a heterogeneous single-chip machine in the
 // big.LITTLE style: nBig fast cores at bigMult and the rest at
 // littleMult, with Niagara-like threading.

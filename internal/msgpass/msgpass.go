@@ -309,6 +309,19 @@ func (e *Endpoint) BindKernel(k *sim.Kernel) { e.k = k }
 // Kernel returns the kernel deliveries to e land on.
 func (e *Endpoint) Kernel() *sim.Kernel { return e.k }
 
+// Rebind moves the endpoint to hardware thread t: transfers sent after
+// the rebind pay the link costs of the new coordinates. The delivery
+// kernel is deliberately untouched — a live migration (core.Ctx.Rebind)
+// happens under the kernel the owning process already parks on, and
+// messages already in flight were costed at send time against the old
+// coordinates, exactly as a wire transfer that departed before the move.
+func (e *Endpoint) Rebind(t machine.ThreadID) {
+	if int(t) < 0 || int(t) >= e.net.m.Cfg.NumThreads() {
+		panic(fmt.Sprintf("msgpass: endpoint rebind thread %d out of range", t))
+	}
+	e.thread = t
+}
+
 // Index returns the endpoint's registration index — the stable
 // coordinate checkpoints use in place of the pointer.
 func (e *Endpoint) Index() int { return e.idx }

@@ -1,0 +1,63 @@
+package obs
+
+import "strconv"
+
+// Adaptive-runtime observables (internal/adapt). The controller's
+// decisions are themselves model quantities — every migration is
+// charged at the §3.1 costs — so its activity is published alongside
+// the run's metrics rather than hidden in controller state.
+
+// RecordMigration counts one live migration of a group member and its
+// charged model cost:
+//
+//	stamp_adapt_migrations_total{group,reason}
+//	stamp_adapt_migration_cost_ticks{group,reason}
+//
+// reason is the trigger that forced the move: "fault", "powercap" or
+// "drift". No-op on a nil registry.
+func RecordMigration(r *Registry, group, reason string, costTicks float64) {
+	if r == nil {
+		return
+	}
+	ls := []Label{L("group", group), L("reason", reason)}
+	r.Counter("stamp_adapt_migrations_total", "Live migrations performed by the adaptive controller.", ls...).Inc()
+	r.Counter("stamp_adapt_migration_cost_ticks", "Virtual-time cost charged for adaptive migrations.", ls...).Add(costTicks)
+}
+
+// RecordDriftTrigger publishes the drift signal the adaptive controller
+// evaluates at a barrier generation: the §3.1 prediction for the
+// quantity, its measurement, and whether the relative error crossed the
+// controller's threshold:
+//
+//	stamp_adapt_drift_predicted{group}
+//	stamp_adapt_drift_measured{group}
+//	stamp_adapt_drift_tripped{group}   1 when |rel err| > threshold
+//
+// No-op on a nil registry.
+func RecordDriftTrigger(r *Registry, group string, predicted, measured float64, tripped bool) {
+	if r == nil {
+		return
+	}
+	ls := []Label{L("group", group)}
+	r.Gauge("stamp_adapt_drift_predicted", "Per-generation model prediction the drift trigger compares against.", ls...).Set(predicted)
+	r.Gauge("stamp_adapt_drift_measured", "Per-generation measurement the drift trigger compares.", ls...).Set(measured)
+	v := 0.0
+	if tripped {
+		v = 1
+	}
+	r.Gauge("stamp_adapt_drift_tripped", "Whether the drift trigger fired at the latest generation.", ls...).Set(v)
+}
+
+// RecordThrottle publishes the DVFS response: the frequency multiplier
+// the controller applied to a core to fit the active power cap.
+//
+//	stamp_adapt_core_freq_mult{core}
+//
+// No-op on a nil registry.
+func RecordThrottle(r *Registry, core int, mult float64) {
+	if r == nil {
+		return
+	}
+	r.Gauge("stamp_adapt_core_freq_mult", "Frequency multiplier applied by the adaptive DVFS response.",
+		L("core", strconv.Itoa(core))).Set(mult)
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// TestReallocateNoDisruptionIsIdentity pins the no-op contract: with
+// nothing down and the envelope unchanged, a Reallocate of a placement
+// Allocate just produced moves nobody and returns that placement
+// byte-identically, for both distribution attributes.
+func TestReallocateNoDisruptionIsIdentity(t *testing.T) {
+	cfg := machine.Niagara()
+	for _, dist := range []core.Dist{core.IntraProc, core.InterProc} {
+		job := Job{Name: "j", N: 10, PowerPerProc: 3, Dist: dist}
+		d0 := Allocate(cfg, job, 10)
+		if !d0.Feasible {
+			t.Fatalf("dist %v: seed allocation infeasible: %s", dist, d0.Reason)
+		}
+		d1 := Reallocate(cfg, job, 10, nil, d0.Placement)
+		if !d1.Feasible {
+			t.Fatalf("dist %v: no-op reallocation infeasible: %s", dist, d1.Reason)
+		}
+		if d1.Moved != 0 {
+			t.Errorf("dist %v: no-op reallocation moved %d processes", dist, d1.Moved)
+		}
+		if !reflect.DeepEqual(d1.Placement, d0.Placement) {
+			t.Errorf("dist %v: no-op reallocation changed the placement:\n%v\nvs\n%v",
+				dist, d1.Placement, d0.Placement)
+		}
+		if !reflect.DeepEqual(d1.PerCorePower, d0.PerCorePower) {
+			t.Errorf("dist %v: no-op reallocation changed per-core power: %v vs %v",
+				dist, d1.PerCorePower, d0.PerCorePower)
+		}
+	}
+}
+
+// TestReallocateNilCurrentIsAllocateExcluding pins the documented
+// degenerate case: a nil current placement is exactly a from-scratch
+// AllocateExcluding — the whole Decision, not just the placement.
+func TestReallocateNilCurrentIsAllocateExcluding(t *testing.T) {
+	cfg := machine.Niagara()
+	job := Job{Name: "j", N: 7, PowerPerProc: 3, Dist: core.InterProc}
+	down := map[int]bool{2: true, 5: true}
+	want := AllocateExcluding(cfg, job, 7, down)
+	got := Reallocate(cfg, job, 7, down, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Reallocate(nil current) = %+v, want AllocateExcluding's %+v", got, want)
+	}
+}
+
+// TestReallocateClusterWiped covers losing every core of a cluster:
+// the displaced processes must land on surviving cores of the other
+// cluster without evicting its keepers, and the result must still
+// verify under the envelope.
+func TestReallocateClusterWiped(t *testing.T) {
+	cfg := machine.Niagara() // 8 cores, clusters {0..3} and {4..7}
+	job := Job{Name: "j", N: 8, PowerPerProc: 3, Dist: core.InterProc}
+	d0 := Allocate(cfg, job, 3) // cap 1/core: one proc on every core
+	if !d0.Feasible || d0.CoresUsed != 8 {
+		t.Fatalf("seed allocation: %+v", d0)
+	}
+	down := map[int]bool{}
+	for c := 0; c < 4; c++ { // cluster 0 gone entirely
+		down[c] = true
+	}
+
+	// Under the 1/core cap only 4 survivor slots remain for 8 procs.
+	d1 := Reallocate(cfg, job, 3, down, d0.Placement)
+	if d1.Feasible {
+		t.Fatalf("half the machine down with a full machine's job should refuse, got %+v", d1)
+	}
+	if want := AllocateExcluding(cfg, job, 3, down).Reason; d1.Reason != want {
+		t.Errorf("refusal reason %q, want AllocateExcluding's %q", d1.Reason, want)
+	}
+
+	// Raising the envelope makes it fit: 4 displaced procs join the 4
+	// keepers on the surviving cluster, keepers pinned to their threads.
+	d2 := Reallocate(cfg, job, 6, down, d0.Placement)
+	if !d2.Feasible {
+		t.Fatalf("reallocation onto the surviving cluster refused: %s", d2.Reason)
+	}
+	if d2.Moved != 4 {
+		t.Errorf("moved %d processes, want the 4 displaced from the wiped cluster", d2.Moved)
+	}
+	for i, th := range d2.Placement {
+		c := cfg.CoreOf(th)
+		if down[c] {
+			t.Errorf("process %d placed on down core %d", i, c)
+		}
+		if !down[cfg.CoreOf(d0.Placement[i])] && th != d0.Placement[i] {
+			t.Errorf("keeper %d evicted: %v → %v", i, d0.Placement[i], th)
+		}
+	}
+	if err := Verify(cfg, d2, 6); err != nil {
+		t.Errorf("reallocation does not verify: %v", err)
+	}
+}
+
+// TestReallocateAllCoresDown pins the no-survivors refusal.
+func TestReallocateAllCoresDown(t *testing.T) {
+	cfg := machine.Niagara()
+	job := Job{Name: "j", N: 2, PowerPerProc: 3, Dist: core.IntraProc}
+	d0 := Allocate(cfg, job, 10)
+	down := map[int]bool{}
+	for c := 0; c < cfg.NumCores(); c++ {
+		down[c] = true
+	}
+	d := Reallocate(cfg, job, 10, down, d0.Placement)
+	if d.Feasible {
+		t.Fatalf("no survivors must refuse, got %+v", d)
+	}
+	if want := AllocateExcluding(cfg, job, 10, down).Reason; d.Reason != want {
+		t.Errorf("refusal reason %q, want AllocateExcluding's %q", d.Reason, want)
+	}
+}
+
+// TestReallocateInfeasibleParity sweeps disruption scenarios and
+// checks that whenever Reallocate refuses, AllocateExcluding refuses
+// too with the identical reason string — the arithmetic is shared, an
+// incremental re-placement is never "more impossible" than a fresh one.
+func TestReallocateInfeasibleParity(t *testing.T) {
+	cfg := machine.Niagara()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		job := Job{
+			Name:         "j",
+			N:            1 + rng.Intn(2*cfg.NumThreads()),
+			PowerPerProc: 1 + float64(rng.Intn(5)),
+			Dist:         core.Dist(rng.Intn(2)),
+		}
+		env := float64(rng.Intn(20))
+		seed := Allocate(cfg, job, 0) // hardware-bound placement to perturb
+		if !seed.Feasible {
+			continue
+		}
+		down := map[int]bool{}
+		for c := 0; c < cfg.NumCores(); c++ {
+			if rng.Intn(3) == 0 {
+				down[c] = true
+			}
+		}
+		re := Reallocate(cfg, job, env, down, seed.Placement)
+		fresh := AllocateExcluding(cfg, job, env, down)
+		if re.Feasible != fresh.Feasible {
+			t.Fatalf("trial %d (%+v env %g down %v): Reallocate feasible=%v, AllocateExcluding=%v",
+				trial, job, env, down, re.Feasible, fresh.Feasible)
+		}
+		if !re.Feasible {
+			if re.Reason != fresh.Reason {
+				t.Fatalf("trial %d: refusal reasons differ: %q vs %q", trial, re.Reason, fresh.Reason)
+			}
+			continue
+		}
+		if err := Verify(cfg, re, env); err != nil {
+			t.Fatalf("trial %d: reallocation does not verify: %v", trial, err)
+		}
+		for i, th := range re.Placement {
+			if down[cfg.CoreOf(th)] {
+				t.Fatalf("trial %d: process %d on down core", trial, i)
+			}
+		}
+	}
+}

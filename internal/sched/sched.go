@@ -41,6 +41,9 @@ type Decision struct {
 	CoresUsed int
 	// PerCorePower maps used core → estimated power.
 	PerCorePower map[int]float64
+	// Moved counts the processes Reallocate assigned a new thread
+	// (always 0 for from-scratch allocations).
+	Moved int
 }
 
 // CapPerCore returns how many processes with power p fit under a

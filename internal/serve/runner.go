@@ -2,9 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/apps/airline"
 	"repro/internal/apps/apsp"
@@ -61,7 +63,7 @@ type CheckRow struct {
 type Result struct {
 	Spec    Spec             `json:"spec"`
 	Hash    string           `json:"hash"`
-	Status  string           `json:"status"` // "done" | "failed"
+	Status  string           `json:"status"` // "done" | "failed" | "timeout"
 	Error   string           `json:"error,omitempty"`
 	Metrics *ModelMetrics    `json:"metrics,omitempty"`
 	Drift   []DriftRow       `json:"drift,omitempty"`
@@ -176,6 +178,16 @@ func runApp(spec Spec, res *Result, emit func(obs.Event)) *obs.Registry {
 	}
 	sys := core.NewSystem(cfg, core.WithObs(ob), core.WithContentionManager(mgr))
 
+	// The wall-clock deadline: a host timer interrupts the kernel, which
+	// tears the simulation down like any error; setFailed classifies the
+	// resulting *sim.ErrInterrupted as status "timeout".
+	if spec.TimeoutSec > 0 {
+		timer := time.AfterFunc(time.Duration(spec.TimeoutSec)*time.Second, func() {
+			sys.K.Interrupt(fmt.Sprintf("wall-clock deadline of %ds exceeded", spec.TimeoutSec))
+		})
+		defer timer.Stop()
+	}
+
 	var plan *fault.Plan
 	if spec.Fault != nil {
 		evs := make([]fault.CoreFailure, 0, len(spec.Fault.Failures))
@@ -238,6 +250,10 @@ func recordDrift(ob *obs.Observer, res *Result, app, metric string, predicted, m
 
 func setFailed(res *Result, err error) {
 	res.Status = "failed"
+	var ie *sim.ErrInterrupted
+	if errors.As(err, &ie) {
+		res.Status = "timeout"
+	}
 	res.Error = err.Error()
 }
 

@@ -60,7 +60,7 @@ func waitDone(t *testing.T, base, id string) map[string]any {
 			t.Fatal(err)
 		}
 		switch st["state"] {
-		case "done", "failed":
+		case "done", "failed", "timeout":
 			return st
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -509,5 +509,116 @@ func TestNegativeFromCursor(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("?from=zap: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRunTimeout submits a scenario far too heavy to finish inside its
+// wall-clock deadline: the run must come back with status "timeout",
+// and the scenario must not be cached — a resubmission executes afresh
+// rather than being served the truncated result.
+func TestRunTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burns a real wall-clock second on purpose")
+	}
+	_, ts := newTestServer(t, 1)
+	spec := `{"app":"jacobi","n":64,"iters":100000000,"timeout_sec":1}`
+
+	sub := postSpec(t, ts.URL, spec)
+	st := waitDone(t, ts.URL, sub["id"].(string))
+	if st["state"] != "timeout" {
+		t.Fatalf("state = %v, want timeout", st["state"])
+	}
+	res := st["result"].(map[string]any)
+	if res["status"] != "timeout" {
+		t.Errorf("result status = %v, want timeout", res["status"])
+	}
+	if e, _ := res["error"].(string); !strings.Contains(e, "deadline") {
+		t.Errorf("result error %q does not mention the deadline", e)
+	}
+
+	// The truncated result must not have been cached.
+	sub2 := postSpec(t, ts.URL, spec)
+	if sub2["cached"] != false {
+		t.Errorf("resubmission after timeout served from cache")
+	}
+}
+
+// TestTimeoutSpecValidation pins the spec-level rules: negative
+// deadlines are rejected, and experiment scenarios take no deadline.
+func TestTimeoutSpecValidation(t *testing.T) {
+	if _, err := (Spec{App: "jacobi", TimeoutSec: -1}).Normalize(); err == nil {
+		t.Error("negative timeout_sec accepted")
+	}
+	if _, err := (Spec{Experiment: "table1", TimeoutSec: 5}).Normalize(); err == nil {
+		t.Error("timeout_sec accepted on an experiment scenario")
+	}
+	a, err := (Spec{App: "jacobi", TimeoutSec: 5}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Spec{App: "jacobi"}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == b.Hash() {
+		t.Error("deadline-bounded spec hashes like the unbounded one")
+	}
+}
+
+// TestSubmitQueueFull429 fills the submit queue (capacity 0, worker
+// held captive inside its logf callback) and checks the HTTP
+// rejection: 429 with a Retry-After hint, while a closing server still
+// answers 503.
+func TestSubmitQueueFull429(t *testing.T) {
+	block := make(chan struct{})
+	released := false
+	s := newServer(1, 0, func(format string, args ...any) {
+		if strings.Contains(format, "started") {
+			<-block
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	release := func() {
+		if !released {
+			released = true
+			close(block)
+		}
+	}
+	t.Cleanup(func() {
+		ts.Close()
+		release()
+		s.Close()
+	})
+
+	// First submission hands off to the (sole) worker, which parks in
+	// logf; the unbuffered queue is now full for everyone else.
+	postSpec(t, ts.URL, `{"app":"jacobi","n":4,"iters":2}`)
+
+	resp, err := http.Post(ts.URL+"/runs", "application/json",
+		strings.NewReader(`{"app":"jacobi","n":6,"iters":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: status %d (%s), want 429", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After header")
+	}
+
+	// Shutdown keeps its own status code.
+	release()
+	s.Close()
+	resp, err = http.Post(ts.URL+"/runs", "application/json",
+		strings.NewReader(`{"app":"jacobi","n":8,"iters":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submit: status %d, want 503", resp.StatusCode)
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -13,6 +14,15 @@ import (
 // lifecycle event kinds emitted by the server itself (the simulation
 // emits the obs.Ev* kinds).
 const evRun = "run"
+
+// Submission rejections the HTTP layer maps to distinct status codes:
+// a full queue is transient (429 with Retry-After — resubmit once a
+// worker drains it), a closing server is terminal for this process
+// (503).
+var (
+	ErrQueueFull    = errors.New("run queue full")
+	ErrShuttingDown = errors.New("server is shutting down")
+)
 
 // Server is the stampserve run service: a registry of submitted
 // scenario runs, a bounded worker pool executing them, a scenario-hash
@@ -46,7 +56,7 @@ type Run struct {
 	src  *Run // non-nil ⇒ cache hit; all state delegates to src
 
 	mu      sync.Mutex
-	state   string // "queued" | "running" | "done" | "failed"
+	state   string // "queued" | "running" | "done" | "failed" | "timeout"
 	events  []obs.Event
 	notify  chan struct{} // closed+replaced on every append/state change
 	outcome *outcome
@@ -55,6 +65,12 @@ type Run struct {
 // New returns a started server with the given worker-pool size.
 // logf, when non-nil, receives one line per run state change.
 func New(workers int, logf func(format string, args ...any)) *Server {
+	return newServer(workers, 1024, logf)
+}
+
+// newServer is New with an explicit submit-queue capacity, so tests
+// can exercise the queue-full rejection without 1024 submissions.
+func newServer(workers, queueCap int, logf func(format string, args ...any)) *Server {
 	if workers < 1 {
 		workers = 1
 	}
@@ -66,7 +82,7 @@ func New(workers int, logf func(format string, args ...any)) *Server {
 		logf:    logf,
 		runs:    map[string]*Run{},
 		byHash:  map[string]*Run{},
-		queue:   make(chan *Run, 1024),
+		queue:   make(chan *Run, queueCap),
 		reg:     obs.NewRegistry(),
 	}
 	for i := 0; i < workers; i++ {
@@ -133,7 +149,7 @@ func (r *Run) eventsSince(from int) ([]obs.Event, <-chan struct{}, bool) {
 	if from > len(p.events) {
 		from = len(p.events)
 	}
-	done := p.state == "done" || p.state == "failed"
+	done := p.state == "done" || p.state == "failed" || p.state == "timeout"
 	return p.events[from:], p.notify, done
 }
 
@@ -175,7 +191,7 @@ func (s *Server) Submit(spec Spec) (*Run, bool, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, false, fmt.Errorf("server is shutting down")
+		return nil, false, ErrShuttingDown
 	}
 	s.seq++
 	id := "r" + strconv.Itoa(s.seq)
@@ -205,14 +221,14 @@ func (s *Server) Submit(spec Spec) (*Run, bool, error) {
 	default:
 		// Queue full: fail the run rather than block the handler.
 		run.setState("failed", &outcome{
-			res:        Result{Spec: norm, Hash: hash, Status: "failed", Error: "run queue full"},
-			resultJSON: []byte(fmt.Sprintf(`{"hash":%q,"status":"failed","error":"run queue full"}`, hash)),
+			res:        Result{Spec: norm, Hash: hash, Status: "failed", Error: ErrQueueFull.Error()},
+			resultJSON: []byte(fmt.Sprintf(`{"hash":%q,"status":"failed","error":%q}`, hash, ErrQueueFull.Error())),
 		})
 		s.mu.Lock()
 		delete(s.byHash, hash) // don't cache the rejection
 		s.mu.Unlock()
 		s.reg.Gauge("stampserve_runs_inflight", "Runs queued or executing.").Add(-1)
-		return nil, false, fmt.Errorf("run queue full")
+		return nil, false, ErrQueueFull
 	}
 	return run, false, nil
 }
@@ -238,6 +254,16 @@ func (s *Server) execute(run *Run) {
 	}
 
 	status := out.res.Status
+	if status == "timeout" {
+		// A timed-out result depends on host speed, not just the spec:
+		// evict the scenario so a resubmission executes afresh instead
+		// of being served the truncated run.
+		s.mu.Lock()
+		if s.byHash[run.Hash] == run {
+			delete(s.byHash, run.Hash)
+		}
+		s.mu.Unlock()
+	}
 	run.appendEvent(obs.Event{Kind: evRun, Name: status, Detail: out.res.Error})
 	run.setState(status, out)
 	s.publishRunMetrics(run, out)
@@ -341,7 +367,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	run, cached, err := s.Submit(spec)
 	if err != nil {
 		code := http.StatusBadRequest
-		if msg := err.Error(); msg == "run queue full" || msg == "server is shutting down" {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			// Transient overload: tell the client when to come back.
+			// One worker-pool drain is a reasonable horizon; clients
+			// treat it as a hint, not a contract.
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrShuttingDown):
 			code = http.StatusServiceUnavailable
 		}
 		httpError(w, code, "%v", err)

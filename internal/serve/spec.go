@@ -75,6 +75,11 @@ type Spec struct {
 	Fault *FaultSpec `json:"fault,omitempty"`
 	// Ckpt enables checkpointing (jacobi with Iters > 0 only).
 	Ckpt *CkptSpec `json:"ckpt,omitempty"`
+	// TimeoutSec bounds the run's host wall-clock time (app scenarios
+	// only; 0 = unbounded). An overrunning simulation is torn down and
+	// reported with status "timeout". Timed-out results depend on host
+	// speed, so they are never entered into the scenario cache.
+	TimeoutSec int `json:"timeout_sec,omitempty"`
 }
 
 // knownApps lists the app scenarios and their per-app defaults.
@@ -151,6 +156,9 @@ func (s Spec) normalizeApp() (Spec, error) {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if s.TimeoutSec < 0 {
+		return Spec{}, fmt.Errorf("timeout_sec must be >= 0, got %d", s.TimeoutSec)
 	}
 
 	// Per-app knobs: default what the app consumes, reject what it

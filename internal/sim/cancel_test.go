@@ -400,3 +400,59 @@ func TestKillFastPathEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInterruptStopsRunningKernel exercises the cross-goroutine abort:
+// a compute-bound simulation (pure Hold loop, the coalescing fast
+// path) must stop at the next event boundary after Interrupt, unwind
+// every parked goroutine, and report ErrInterrupted.
+func TestInterruptStopsRunningKernel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	k := NewKernel()
+	defersRan := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("spin%d", i), func(p *Proc) {
+			defer func() { defersRan++ }()
+			for {
+				p.Hold(1)
+			}
+		})
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		k.Interrupt("host deadline")
+	}()
+	err := k.Run()
+	var ie *ErrInterrupted
+	if !errors.As(err, &ie) {
+		t.Fatalf("Run() = %v, want ErrInterrupted", err)
+	}
+	if ie.Reason != "host deadline" {
+		t.Errorf("reason = %q", ie.Reason)
+	}
+	if ie.At != k.Now() {
+		t.Errorf("interrupt at t=%d, kernel now t=%d", ie.At, k.Now())
+	}
+	if defersRan != 4 {
+		t.Errorf("%d deferred funcs ran, want 4 (all procs unwound)", defersRan)
+	}
+	if err := k.Run(); !errors.Is(err, ErrStopped) {
+		t.Errorf("re-Run after interrupt = %v, want ErrStopped", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestInterruptBeforeRun pins the never-started case: the flag is
+// honoured on the first dispatch, before any process activates.
+func TestInterruptBeforeRun(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.Spawn("p", func(p *Proc) { ran = true })
+	k.Interrupt("early")
+	var ie *ErrInterrupted
+	if err := k.Run(); !errors.As(err, &ie) {
+		t.Fatalf("Run() = %v, want ErrInterrupted", err)
+	}
+	if ran {
+		t.Error("process body ran despite pre-Run interrupt")
+	}
+}

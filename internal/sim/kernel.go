@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Time is virtual simulation time in ticks. One tick is one "local
@@ -96,6 +97,10 @@ type Kernel struct {
 	poisoned   bool
 	unwound    chan struct{}
 	doneSender *Proc
+	// unwindRest holds the processes spawned after doneSender that are
+	// still to unwind; doneSender's retirement drains it so teardown
+	// defer order is spawn order in both execution modes.
+	unwindRest []*Proc
 
 	// MaxEvents bounds the number of dispatched events; 0 means no
 	// bound. Exceeding it makes Run return ErrEventLimit. Coalesced
@@ -103,6 +108,11 @@ type Kernel struct {
 	// independent of whether the fast path fires.
 	MaxEvents  int64
 	dispatched int64
+
+	// interrupt, when set, asks dispatch to end the run at the next
+	// event boundary (see Interrupt). It is the kernel's only state a
+	// goroutine outside the baton may touch, hence the atomic.
+	interrupt atomic.Pointer[ErrInterrupted]
 
 	// DisableFastPath turns off the hold-coalescing fast path so every
 	// Hold takes the park → heap → channel slow path. The two modes are
@@ -209,6 +219,10 @@ func (k *Kernel) canCoalesce(d Time) bool {
 		!k.DisableFastPath &&
 		(k.events.Len() == 0 || k.events.min().at > k.now+d) &&
 		(k.MaxEvents <= 0 || k.dispatched < k.MaxEvents) &&
+		// A pending interrupt must force the slow path: a compute-bound
+		// proc coalescing holds never re-enters dispatch, and dispatch
+		// is where the interrupt is honoured.
+		k.interrupt.Load() == nil &&
 		// Never coalesce across a RunUntil horizon: the skipped wake
 		// would land at or past the pause point, where a neighbouring
 		// shard's merged posts may schedule competitors it must lose
@@ -264,6 +278,30 @@ type ErrEventLimit struct{ Limit int64 }
 
 func (e *ErrEventLimit) Error() string {
 	return fmt.Sprintf("sim: event limit %d exceeded", e.Limit)
+}
+
+// ErrInterrupted is returned by Run after an Interrupt took effect.
+// At is the virtual time the run was cut off at.
+type ErrInterrupted struct {
+	Reason string
+	At     Time
+}
+
+func (e *ErrInterrupted) Error() string {
+	return fmt.Sprintf("sim: interrupted at t=%d: %s", e.At, e.Reason)
+}
+
+// Interrupt asks a running kernel to stop, from any goroutine — the
+// one operation on a Kernel that is safe to call concurrently with
+// dispatch. The run ends at the next event boundary with the same full
+// teardown as any error (every parked process unwinds, no goroutine
+// outlives the run) and Run returns an *ErrInterrupted carrying reason.
+// The cut-off point depends on when the call lands relative to the
+// dispatch loop, so interrupted runs are not deterministic: callers
+// must treat the partial state as unusable. Interrupting a kernel that
+// is already finished, stopped or never started is a no-op.
+func (k *Kernel) Interrupt(reason string) {
+	k.interrupt.Store(&ErrInterrupted{Reason: reason})
 }
 
 // ErrStopped is returned by Run when the kernel has already terminated
@@ -472,6 +510,11 @@ const (
 // and therefore every virtual-time result — is unchanged.
 func (k *Kernel) dispatch(self *Proc, c *carrier) batonState {
 	for {
+		if e := k.interrupt.Load(); e != nil {
+			e.At = k.now
+			k.finish(e, self)
+			return k.batonAfterFinish(self)
+		}
 		if k.pauseAt > 0 {
 			if n := k.events.Len(); (n == 0 && k.live > 0) || (n > 0 && k.events.min().at >= k.pauseAt) {
 				return k.pause(self, c)
@@ -625,15 +668,46 @@ func (k *Kernel) finish(err error, self *Proc) {
 // retired in place (teardownStep), their finalizers observing
 // Unwinding() exactly as a goroutine's defers would. The waiting set
 // is snapshotted first because retirement edits the live list.
+//
+// Unwind order is spawn order, including self's slot: which goroutine
+// detects the error depends on where the baton happens to be — a
+// mode-dependent accident (a killed goroutine proc unwinds through a
+// channel handoff while a killed boundary-parked step proc retires
+// inline in dispatch, leaving the baton elsewhere) — so self cannot
+// simply unwind last without step and goroutine runs of the same
+// program tearing down in different defer orders. Processes spawned
+// before self unwind here; self unwinds when its park observes
+// batonDead; the rest are stashed on unwindRest and unwound from
+// self's own retirement (see finishTeardown).
 func (k *Kernel) teardown(self *Proc) {
 	k.poisoned = true
-	var waiting []*Proc
+	var before, after []*Proc
+	seenSelf := false
 	for p := k.liveHead; p != nil; p = p.nextLive {
-		if p != self && p.state == stateWaiting {
-			waiting = append(waiting, p)
+		if p == self {
+			seenSelf = true
+			continue
+		}
+		if p.state == stateWaiting {
+			if seenSelf {
+				after = append(after, p)
+			} else {
+				before = append(before, p)
+			}
 		}
 	}
-	for _, p := range waiting {
+	k.unwindList(before)
+	if self != nil && self.state == stateWaiting {
+		k.unwindRest = after
+	} else {
+		k.unwindList(after)
+	}
+}
+
+// unwindList unwinds parked procs in order; retirement may edit the
+// live list or wake/retire later entries, so each is re-checked.
+func (k *Kernel) unwindList(ps []*Proc) {
+	for _, p := range ps {
 		if p.state != stateWaiting {
 			continue
 		}
@@ -644,6 +718,16 @@ func (k *Kernel) teardown(self *Proc) {
 		p.resume <- struct{}{}
 		<-k.unwound
 	}
+}
+
+// finishTeardown completes a teardown that was split around the
+// detecting process: called from that process's retirement (Proc.run's
+// recover or runSteps' recover, just before it releases Run), it
+// unwinds the processes that were spawned after it.
+func (k *Kernel) finishTeardown() {
+	rest := k.unwindRest
+	k.unwindRest = nil
+	k.unwindList(rest)
 }
 
 // blockedNames lists live processes for deadlock reports,

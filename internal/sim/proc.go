@@ -149,6 +149,7 @@ func (p *Proc) run() {
 			// process is the one that detected the error (its unwind
 			// was deferred past finish; see Kernel.finish).
 			if k.doneSender == p {
+				k.finishTeardown()
 				k.done <- struct{}{}
 			} else {
 				k.unwound <- struct{}{}

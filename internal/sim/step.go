@@ -153,6 +153,7 @@ func (c *carrier) runSteps(p *Proc) (out stepOutcome) {
 			// proc detected the error from inside a mid-activation park
 			// (see Kernel.finish).
 			if k.doneSender == p {
+				k.finishTeardown()
 				k.done <- struct{}{}
 			} else {
 				k.unwound <- struct{}{}
